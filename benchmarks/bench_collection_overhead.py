@@ -1,0 +1,45 @@
+"""Section 5.3 efficiency: per-incident overhead of the two pipeline stages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim import TransportService
+from repro.core import RCACopilot
+from repro.datagen import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def ready_copilot():
+    """A copilot with warmed-up telemetry and an indexed history."""
+    service = TransportService(seed=311)
+    service.warm_up(hours=0.5)
+    copilot = RCACopilot(service.hub)
+    history = generate_corpus(
+        total_incidents=120, total_categories=30, seed=12, duration_days=150.0
+    )
+    copilot.index_history(history)
+    outcome = service.inject_and_detect("HubPortExhaustion")
+    return copilot, outcome.primary_alert
+
+
+def test_collection_stage_overhead(benchmark, ready_copilot):
+    """Time the collection stage (handler matching + execution) per incident."""
+    copilot, alert = ready_copilot
+
+    def collect():
+        incident = copilot.collection.parse_alert(alert)
+        return copilot.collection.collect(incident)
+
+    outcome = benchmark(collect)
+    assert outcome.collected
+
+
+def test_prediction_stage_overhead(benchmark, ready_copilot):
+    """Time the prediction stage (summarize + retrieve + CoT prompt) per incident."""
+    copilot, alert = ready_copilot
+    incident = copilot.collection.parse_alert(alert)
+    copilot.collection.collect(incident)
+
+    outcome = benchmark(copilot.prediction.predict, incident)
+    assert outcome.label

@@ -1,0 +1,37 @@
+"""Figure 12: sensitivity of RCACopilot to K (demonstrations) and alpha (decay)."""
+
+from __future__ import annotations
+
+from repro.eval import figure12_k_alpha_sweep
+
+
+def test_fig12_k_alpha_sweep(benchmark, bench_split):
+    """Regenerate the Figure 12 K x alpha sweep."""
+    import benchmarks.conftest as bench_conftest
+
+    train, test = bench_split
+    if bench_conftest.FULL_EVAL:
+        k_values, alpha_values = (3, 5, 9, 12, 15), (0.0, 0.2, 0.4, 0.6, 0.8)
+    else:
+        k_values, alpha_values = (3, 5, 9), (0.0, 0.3, 0.6)
+    result = benchmark.pedantic(
+        figure12_k_alpha_sweep,
+        args=(train, test),
+        kwargs={"k_values": k_values, "alpha_values": alpha_values},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    best_k, best_alpha, best_score = result.best()
+    # All combinations produce usable accuracy and the spread across the grid
+    # is bounded (the paper's Figure 12 spans roughly 0.60-0.76 micro-F1).
+    values = list(result.micro_f1.values())
+    assert min(values) > 0.25
+    assert max(values) == best_score
+    assert best_score - min(values) < 0.45
+    # A single demonstration budget K never catastrophically collapses.
+    for k in k_values:
+        k_scores = [v for (kk, _), v in result.micro_f1.items() if kk == str(k)]
+        assert max(k_scores) - min(k_scores) < 0.35

@@ -1,0 +1,16 @@
+"""Figure 2: recurring incident proportion vs. recurrence time interval."""
+
+from __future__ import annotations
+
+from repro.eval import figure2_recurrence
+
+
+def test_fig2_recurrence(benchmark, bench_corpus):
+    """Regenerate Figure 2 and check the 20-day locality property."""
+    result = benchmark(figure2_recurrence, bench_corpus)
+    print()
+    print(result.render())
+    assert result.fraction_within_20_days > 0.85
+    # Probability mass in the first 20 days dominates every later bucket.
+    first_bucket = result.bins[0][1]
+    assert all(first_bucket >= later for _, later in result.bins[5:])

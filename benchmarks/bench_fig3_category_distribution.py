@@ -1,0 +1,16 @@
+"""Figure 3: distribution of incident category frequency (the long tail)."""
+
+from __future__ import annotations
+
+from repro.eval import figure3_category_distribution
+
+
+def test_fig3_category_distribution(benchmark, bench_corpus):
+    """Regenerate Figure 3 and check the long-tail shape."""
+    result = benchmark(figure3_category_distribution, bench_corpus)
+    print()
+    print(result.render())
+    # Most categories occur exactly once (the paper's dominant bucket) and the
+    # fraction of incidents in new categories sits near the paper's 24.96%.
+    assert result.histogram["1"] == max(result.histogram.values())
+    assert 0.15 <= result.new_category_fraction <= 0.40

@@ -1,0 +1,24 @@
+"""Table 1: the exemplar incident scenarios and their simulated reproduction."""
+
+from __future__ import annotations
+
+from repro.cloudsim import TABLE1_SCENARIOS, TransportService
+from repro.eval import table1_scenarios
+
+
+def test_table1_scenarios(benchmark):
+    """Render Table 1 and verify every scenario is reproducible in the simulator."""
+    text = benchmark(table1_scenarios)
+    print()
+    print(text)
+    service = TransportService(seed=2024)
+    service.warm_up(hours=0.5)
+    detected = 0
+    for scenario in TABLE1_SCENARIOS:
+        outcome = service.inject_and_detect(scenario.category)
+        if outcome.primary_alert is not None and (
+            outcome.primary_alert.alert_type == scenario.alert_type
+        ):
+            detected += 1
+    print(f"scenarios detected with the expected alert type: {detected}/{len(TABLE1_SCENARIOS)}")
+    assert detected >= 8

@@ -1,0 +1,48 @@
+"""Table 3: ablation of the prompt context sources."""
+
+from __future__ import annotations
+
+from repro.core import ContextSource
+from repro.eval import table3_context_ablation
+from repro.eval.tables import TABLE3_CONFIGURATIONS
+
+
+#: A reduced configuration set for the default (non-full) benchmark run: the
+#: summarized-vs-raw comparison plus the "everything mixed in" row, which are
+#: the two findings the paper highlights.
+REDUCED_CONFIGURATIONS = [
+    TABLE3_CONFIGURATIONS[0],   # DiagnosticInfo (raw)
+    TABLE3_CONFIGURATIONS[1],   # DiagnosticInfo (summarized)
+    TABLE3_CONFIGURATIONS[2],   # AlertInfo
+    TABLE3_CONFIGURATIONS[-1],  # AlertInfo + DiagnosticInfo + ActionOutput
+]
+
+
+def test_table3_context_ablation(benchmark, bench_split):
+    """Regenerate Table 3 (prompt-context ablation)."""
+    import benchmarks.conftest as bench_conftest
+
+    train, test = bench_split
+    configurations = (
+        TABLE3_CONFIGURATIONS if bench_conftest.FULL_EVAL else REDUCED_CONFIGURATIONS
+    )
+    result = benchmark.pedantic(
+        table3_context_ablation,
+        args=(train, test),
+        kwargs={"configurations": configurations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    summarized = result.results["DiagnosticInfo (summarized)"]
+    raw = result.results["DiagnosticInfo"]
+    alert_only = result.results["AlertInfo"]
+    everything = result.results["AlertInfo + DiagnosticInfo + ActionOutput"]
+
+    # Paper findings: diagnostic information beats alert info alone, and
+    # piling every source into the prompt does not beat the summarized
+    # diagnostic information (an excess of information hurts).
+    assert summarized.micro_f1 >= alert_only.micro_f1
+    assert max(summarized.micro_f1, raw.micro_f1) >= everything.micro_f1

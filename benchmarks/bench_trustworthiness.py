@@ -1,0 +1,37 @@
+"""Section 5.6: trustworthiness — stability of RCACopilot across rounds."""
+
+from __future__ import annotations
+
+from repro.baselines.methods import RcaCopilotMethod
+from repro.eval import run_rounds
+from repro.llm import SimulatedLLM
+
+
+def test_trustworthiness_rounds(benchmark, bench_split):
+    """Run three rounds with a mildly unstable model; scores must stay stable."""
+    train, test = bench_split
+
+    def factory(round_index: int) -> RcaCopilotMethod:
+        # Each round uses a different seed for the model's answer noise,
+        # standing in for GPT's run-to-run instability.
+        return RcaCopilotMethod(
+            model=SimulatedLLM(name="simulated-gpt-4", seed=round_index, noise=0.03),
+            name="RCACopilot (GPT-4)",
+        )
+
+    result = benchmark.pedantic(
+        run_rounds, args=(factory, train, test), kwargs={"rounds": 3}, rounds=1, iterations=1
+    )
+    print()
+    for index, round_result in enumerate(result.rounds, start=1):
+        print(
+            f"round {index}: micro-F1={round_result.micro_f1:.3f} "
+            f"macro-F1={round_result.macro_f1:.3f}"
+        )
+    spread = max(result.micro_f1_values) - min(result.micro_f1_values)
+    print(f"micro-F1 spread across rounds: {spread:.3f}")
+    # The paper reports micro-F1 consistently above 0.70 and macro above 0.50;
+    # on the synthetic corpus we assert stability (small spread) and a
+    # consistently useful floor.
+    assert spread < 0.10
+    assert result.min_micro_f1 > 0.35

@@ -1,0 +1,37 @@
+"""Shared fixtures and sizing knobs for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the reproduced rows/series.  By default the corpus is a reduced-size replica
+(fast enough for CI); set ``REPRO_FULL_EVAL=1`` to regenerate everything on
+the full 653-incident / 163-category corpus exactly as in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen import generate_corpus
+from repro.datagen.splits import chronological_split
+
+FULL_EVAL = os.environ.get("REPRO_FULL_EVAL", "0") == "1"
+
+
+def corpus_parameters():
+    """Corpus size used by the benchmarks (full paper scale when requested)."""
+    if FULL_EVAL:
+        return {"total_incidents": 653, "total_categories": 163, "duration_days": 365.0}
+    return {"total_incidents": 240, "total_categories": 70, "duration_days": 240.0}
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """The evaluation corpus shared by all benchmarks in a session."""
+    return generate_corpus(seed=2023, **corpus_parameters())
+
+
+@pytest.fixture(scope="session")
+def bench_split(bench_corpus):
+    """The paper's 75/25 chronological split of the benchmark corpus."""
+    return chronological_split(bench_corpus, 0.75)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Full evaluation report: regenerate every table and figure in one run.
+
+By default a reduced-size corpus keeps the runtime to a few minutes; pass
+``--full`` to evaluate on the paper-scale 653-incident / 163-category corpus
+(the numbers recorded in EXPERIMENTS.md).
+
+Run with::
+
+    python examples/evaluation_report.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.datagen import generate_corpus
+from repro.datagen.splits import chronological_split, summarize_split
+from repro.eval import (
+    DeploymentSimulator,
+    figure2_recurrence,
+    figure3_category_distribution,
+    figure12_k_alpha_sweep,
+    table1_scenarios,
+    table2_method_comparison,
+    table3_context_ablation,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use the paper-scale corpus")
+    args = parser.parse_args()
+
+    started = time.time()
+    if args.full:
+        corpus = generate_corpus()
+        sweep_k, sweep_alpha = (3, 5, 9, 12, 15), (0.0, 0.2, 0.4, 0.6, 0.8)
+    else:
+        corpus = generate_corpus(
+            total_incidents=240, total_categories=70, seed=2023, duration_days=240.0
+        )
+        sweep_k, sweep_alpha = (3, 5, 9), (0.0, 0.3, 0.6)
+
+    train, test = chronological_split(corpus, 0.75)
+    split = summarize_split(train, test)
+    print(f"corpus: {len(corpus)} incidents, {len(corpus.categories())} categories")
+    print(f"split: {split.train_size} train / {split.test_size} test "
+          f"({split.unseen_fraction:.1%} of test incidents have unseen categories)\n")
+
+    print(table1_scenarios(), "\n")
+    print(figure2_recurrence(corpus).render(), "\n")
+    print(figure3_category_distribution(corpus).render(), "\n")
+
+    print("running Table 2 (method comparison)...")
+    print(table2_method_comparison(train, test).render(), "\n")
+
+    print("running Table 3 (prompt-context ablation)...")
+    print(table3_context_ablation(train, test).render(), "\n")
+
+    print("running Figure 12 (K x alpha sweep)...")
+    print(figure12_k_alpha_sweep(train, test, k_values=sweep_k, alpha_values=sweep_alpha).render(), "\n")
+
+    print("running Table 4 (deployment simulation)...")
+    print(DeploymentSimulator().run().render(), "\n")
+
+    print(f"total evaluation time: {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Handler authoring: build, version, serialize and hot-update an incident handler.
+
+This is the Section 4.1 workflow the production system exposes through a web
+GUI: an on-call engineer authors a decision-tree handler for a new alert type
+out of reusable actions, registers it, later updates it with a newly released
+check (the paper's "Exception Table" example), and shares it as JSON.
+
+Run with::
+
+    python examples/handler_authoring.py
+"""
+
+from __future__ import annotations
+
+from repro.cloudsim import TransportService
+from repro.handlers import (
+    HandlerBuilder,
+    HandlerExecutor,
+    HandlerRegistry,
+    MitigationAction,
+    QueryAction,
+    ScopeSwitchAction,
+    handler_to_json,
+)
+from repro.incidents import Incident
+from repro.monitors import AlertScope
+
+
+def build_v1():
+    """Version 1: scope to the busy machine, check poison-message errors."""
+    return (
+        HandlerBuilder("PoisonMessageDetected", name="poison-message-custom", author="alice")
+        .add(
+            "focus",
+            ScopeSwitchAction("focus_machine", AlertScope.MACHINE, busiest_metric="udp_socket_count"),
+            {"default": "poison_errors"},
+        )
+        .add(
+            "poison_errors",
+            QueryAction("poison_errors", source="error_logs", pattern="poison"),
+            {"default": "mitigate"},
+        )
+        .add("mitigate", MitigationAction("purge", "Purge poisoned messages from the queue"))
+        .build()
+    )
+
+
+def build_v2():
+    """Version 2: adds the newly released exception-table check and a config query."""
+    return (
+        HandlerBuilder("PoisonMessageDetected", name="poison-message-custom", author="alice")
+        .add(
+            "focus",
+            ScopeSwitchAction("focus_machine", AlertScope.MACHINE, busiest_metric="udp_socket_count"),
+            {"default": "exception_table"},
+        )
+        .add(
+            "exception_table",
+            QueryAction("exception_table", source="stack_grouping"),
+            {"default": "poison_errors"},
+        )
+        .add(
+            "poison_errors",
+            QueryAction("poison_errors", source="error_logs", pattern="poison"),
+            {"default": "config_changes"},
+        )
+        .add(
+            "config_changes",
+            QueryAction("config_changes", source="events"),
+            {"default": "mitigate"},
+        )
+        .add("mitigate", MitigationAction("purge", "Purge poisoned messages and restart the config service"))
+        .build()
+    )
+
+
+def main() -> None:
+    registry = HandlerRegistry()
+
+    print("== register version 1 ==")
+    v1 = registry.register(build_v1(), team="Transport", change_note="initial handler")
+    print(v1.describe())
+
+    print("\n== a new diagnostic feature ships; update the handler ==")
+    v2 = registry.register(build_v2(), team="Transport", change_note="add exception table check")
+    print(f"latest version for PoisonMessageDetected: v{registry.latest('PoisonMessageDetected').version}")
+    print(f"version history: {[entry.handler.version for entry in registry.history('PoisonMessageDetected')]}")
+    print(f"actions reused across handlers: {registry.action_reuse_counts()}")
+
+    print("\n== share the handler as JSON ==")
+    document = handler_to_json(v2)
+    print(document[:400] + "\n...")
+
+    print("\n== run the updated handler against a live incident ==")
+    service = TransportService(seed=5)
+    service.warm_up(hours=0.5)
+    outcome = service.inject_and_detect("UseRouteResolution")
+    alert = outcome.primary_alert
+    incident = Incident.from_alert("INC-DEMO", alert)
+    result = HandlerExecutor(service.hub).execute(registry.latest(alert.alert_type), incident)
+    print(f"executed {result.step_count} actions in {result.elapsed_seconds * 1000:.1f} ms")
+    print(f"suggested mitigations: {result.mitigations}")
+    print("\ncollected diagnostic sections:")
+    for section in result.report.sections:
+        print(f"  - {section.title} ({section.source})")
+
+
+if __name__ == "__main__":
+    main()

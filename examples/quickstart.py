@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: diagnose one cloud incident end to end with RCACopilot.
+
+The script (1) boots the simulated Transport email service, (2) builds the
+RCACopilot on-call system with the built-in incident handlers, (3) indexes a
+small corpus of labelled historical incidents, (4) injects a hub-port
+exhaustion fault, and (5) prints the collected diagnostic information, the
+predicted root-cause category, and the model's explanation.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.cloudsim import TransportService
+from repro.core import RCACopilot
+from repro.datagen import generate_corpus
+
+
+def main() -> None:
+    print("== 1. Boot the simulated Transport service ==")
+    service = TransportService(seed=7)
+    service.warm_up(hours=1.0)
+    print(service.describe())
+
+    print("\n== 2. Build RCACopilot and index historical incidents ==")
+    copilot = RCACopilot(service.hub)
+    history = generate_corpus(
+        total_incidents=150, total_categories=40, seed=3, duration_days=180.0
+    )
+    copilot.index_history(history)
+    print(f"indexed {len(history)} historical incidents "
+          f"across {len(history.categories())} root-cause categories")
+
+    print("\n== 3. Inject a fault and let the monitors detect it ==")
+    outcome = service.inject_and_detect("HubPortExhaustion")
+    alert = outcome.primary_alert
+    assert alert is not None, "the monitors missed the injected fault"
+    print(f"alert raised: {alert.summary()}")
+
+    print("\n== 4. Diagnose the incident ==")
+    report = copilot.observe(alert)
+
+    print("\n-- collected diagnostic information --")
+    print(report.incident.diagnostic_info())
+
+    print("\n-- RCACopilot diagnosis --")
+    print(report.render())
+    print(f"\nground truth category: {outcome.fault.category}")
+    print(f"end-to-end latency: {report.elapsed_seconds:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

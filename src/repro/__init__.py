@@ -1,0 +1,27 @@
+"""repro: a reproduction of RCACopilot (EuroSys 2024).
+
+Automatic root cause analysis for cloud incidents: incident handlers collect
+multi-source diagnostic information, and an LLM-backed prediction stage
+retrieves similar historical incidents and predicts the root-cause category
+with an explanation.
+
+Public entry points:
+
+* :class:`repro.core.RCACopilot` — the end-to-end on-call system.
+* :func:`repro.datagen.generate_corpus` — the synthetic one-year incident corpus.
+* :class:`repro.cloudsim.TransportService` — the simulated email service.
+* :mod:`repro.eval` — the evaluation harness reproducing the paper's tables
+  and figures.
+"""
+
+from .core import DiagnosisReport, PipelineConfig, PredictionConfig, RCACopilot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiagnosisReport",
+    "PipelineConfig",
+    "PredictionConfig",
+    "RCACopilot",
+    "__version__",
+]

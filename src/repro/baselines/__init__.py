@@ -1,0 +1,33 @@
+"""Baselines and variants compared against RCACopilot (Table 2)."""
+
+from .decision_tree import RegressionTree, TreeNode
+from .features import LabelEncoder, TfidfConfig, TfidfVectorizer
+from .methods import (
+    FastTextBaseline,
+    FineTunedGptBaseline,
+    GptEmbeddingVariant,
+    GptPromptVariant,
+    RcaCopilotMethod,
+    RcaMethod,
+    XGBoostBaseline,
+    default_method_suite,
+)
+from .xgboost import GradientBoostingClassifier, GradientBoostingConfig
+
+__all__ = [
+    "RegressionTree",
+    "TreeNode",
+    "LabelEncoder",
+    "TfidfConfig",
+    "TfidfVectorizer",
+    "FastTextBaseline",
+    "FineTunedGptBaseline",
+    "GptEmbeddingVariant",
+    "GptPromptVariant",
+    "RcaCopilotMethod",
+    "RcaMethod",
+    "XGBoostBaseline",
+    "default_method_suite",
+    "GradientBoostingClassifier",
+    "GradientBoostingConfig",
+]

@@ -1,0 +1,140 @@
+"""Regression trees used as the weak learners of the gradient-boosting baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class TreeNode:
+    """A node of a binary regression tree."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if the node has no split."""
+        return self.left is None and self.right is None
+
+
+class RegressionTree:
+    """A depth-bounded CART regression tree (exact greedy splits).
+
+    Fits residuals for the gradient-boosting ensemble.  Split finding
+    considers a subsample of candidate thresholds per feature to keep the
+    exact-greedy search tractable on TF-IDF matrices.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 2,
+        max_thresholds: int = 3,
+        min_gain: float = 1e-7,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self.min_gain = min_gain
+        self._root: Optional[TreeNode] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
+        """Fit the tree to (features, targets)."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets must have equal length")
+        self._root = self._build(features, targets, depth=0)
+        return self
+
+    def _build(self, features: np.ndarray, targets: np.ndarray, depth: int) -> TreeNode:
+        node = TreeNode(value=float(targets.mean()) if targets.size else 0.0)
+        if (
+            depth >= self.max_depth
+            or targets.size < 2 * self.min_samples_leaf
+            or np.allclose(targets, targets[0])
+        ):
+            return node
+        best = self._best_split(features, targets)
+        if best is None:
+            return node
+        feature, threshold, gain = best
+        if gain < self.min_gain:
+            return node
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[mask], targets[mask], depth + 1)
+        node.right = self._build(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def _best_split(self, features: np.ndarray, targets: np.ndarray):
+        n_samples, n_features = features.shape
+        total_sum = targets.sum()
+        total_count = targets.size
+        base_score = (total_sum ** 2) / total_count
+        best_gain = 0.0
+        best: Optional[tuple] = None
+        # Only consider features with any variation (sparse TF-IDF => most are 0).
+        active = np.where(features.max(axis=0) > features.min(axis=0))[0]
+        for feature in active:
+            column = features[:, feature]
+            unique = np.unique(column)
+            if unique.size < 2:
+                continue
+            if unique.size > self.max_thresholds:
+                quantiles = np.linspace(0, 1, self.max_thresholds + 2)[1:-1]
+                thresholds = np.unique(np.quantile(column, quantiles))
+            else:
+                thresholds = (unique[:-1] + unique[1:]) / 2.0
+            for threshold in thresholds:
+                mask = column <= threshold
+                left_count = int(mask.sum())
+                right_count = total_count - left_count
+                if left_count < self.min_samples_leaf or right_count < self.min_samples_leaf:
+                    continue
+                left_sum = targets[mask].sum()
+                right_sum = total_sum - left_sum
+                gain = (
+                    (left_sum ** 2) / left_count
+                    + (right_sum ** 2) / right_count
+                    - base_score
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold), float(gain))
+        return best
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict values for a feature matrix."""
+        if self._root is None:
+            raise RuntimeError("RegressionTree.fit must be called before predict")
+        features = np.asarray(features, dtype=np.float64)
+        return np.array([self._predict_row(row) for row in features])
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: Optional[TreeNode]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

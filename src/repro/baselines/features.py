@@ -1,0 +1,116 @@
+"""Bag-of-words / TF-IDF featurisation for the classical baselines.
+
+XGBoost (and any tree/linear model) needs a fixed-width numeric feature
+matrix; incident text is vectorised here with a vocabulary capped to the most
+frequent tokens and TF-IDF weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..embedding.text import tokenize
+
+
+@dataclass
+class TfidfConfig:
+    """Configuration of the TF-IDF vectoriser."""
+
+    max_features: int = 2000
+    min_df: int = 2
+    sublinear_tf: bool = True
+
+
+class TfidfVectorizer:
+    """A small TF-IDF vectoriser over the incident-text tokenizer."""
+
+    def __init__(self, config: Optional[TfidfConfig] = None) -> None:
+        self.config = config or TfidfConfig()
+        self._vocabulary: Dict[str, int] = {}
+        self._idf: Optional[np.ndarray] = None
+
+    @property
+    def vocabulary(self) -> Dict[str, int]:
+        """Token -> column index mapping."""
+        return dict(self._vocabulary)
+
+    @property
+    def num_features(self) -> int:
+        """Width of the produced feature matrix."""
+        return len(self._vocabulary)
+
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        """Learn the vocabulary and IDF weights from a corpus."""
+        document_frequency: Dict[str, int] = {}
+        for document in documents:
+            for token in set(tokenize(document)):
+                document_frequency[token] = document_frequency.get(token, 0) + 1
+        eligible = [
+            (token, frequency)
+            for token, frequency in document_frequency.items()
+            if frequency >= self.config.min_df
+        ]
+        eligible.sort(key=lambda kv: (-kv[1], kv[0]))
+        selected = [token for token, _ in eligible[: self.config.max_features]]
+        self._vocabulary = {token: index for index, token in enumerate(sorted(selected))}
+        total = len(documents)
+        idf = np.ones(len(self._vocabulary))
+        for token, index in self._vocabulary.items():
+            idf[index] = np.log((1 + total) / (1 + document_frequency[token])) + 1.0
+        self._idf = idf
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Vectorise documents into a dense (n_docs, n_features) matrix."""
+        if self._idf is None:
+            raise RuntimeError("TfidfVectorizer.fit must be called before transform")
+        matrix = np.zeros((len(documents), len(self._vocabulary)))
+        for row, document in enumerate(documents):
+            counts: Dict[int, float] = {}
+            for token in tokenize(document):
+                index = self._vocabulary.get(token)
+                if index is not None:
+                    counts[index] = counts.get(index, 0.0) + 1.0
+            for index, count in counts.items():
+                tf = 1.0 + np.log(count) if self.config.sublinear_tf else count
+                matrix[row, index] = tf * self._idf[index]
+            norm = np.linalg.norm(matrix[row])
+            if norm > 0:
+                matrix[row] /= norm
+        return matrix
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Fit on the corpus then transform it."""
+        return self.fit(documents).transform(documents)
+
+
+class LabelEncoder:
+    """Maps string labels to integer ids and back."""
+
+    def __init__(self) -> None:
+        self._label_to_id: Dict[str, int] = {}
+        self._labels: List[str] = []
+
+    def fit(self, labels: Sequence[str]) -> "LabelEncoder":
+        """Learn the label set."""
+        self._labels = sorted(set(labels))
+        self._label_to_id = {label: index for index, label in enumerate(self._labels)}
+        return self
+
+    @property
+    def classes(self) -> List[str]:
+        """Known labels in id order."""
+        return list(self._labels)
+
+    def encode(self, labels: Sequence[str]) -> np.ndarray:
+        """Encode labels to ids; unknown labels get -1."""
+        return np.array([self._label_to_id.get(label, -1) for label in labels])
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        """Decode ids back to labels; -1 becomes ``"<unknown>"``."""
+        return [
+            self._labels[i] if 0 <= i < len(self._labels) else "<unknown>" for i in ids
+        ]

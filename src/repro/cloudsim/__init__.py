@@ -1,0 +1,48 @@
+"""Simulated Transport email service: topology, workload, faults, scenarios."""
+
+from .components import (
+    MACHINE_ROLES,
+    ROLE_DELIVERY,
+    ROLE_FRONTDOOR,
+    ROLE_HUB,
+    ROLE_MAILBOX,
+    Forest,
+    Machine,
+    Topology,
+    build_topology,
+)
+from .faults import FAULT_INJECTORS, FaultInjector, FaultRecord, injector_for
+from .scenarios import (
+    TABLE1_SCENARIOS,
+    Scenario,
+    alert_type_for_category,
+    scenario_by_category,
+    scenario_by_number,
+)
+from .transport import InjectionOutcome, TransportService
+from .workload import WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "MACHINE_ROLES",
+    "ROLE_DELIVERY",
+    "ROLE_FRONTDOOR",
+    "ROLE_HUB",
+    "ROLE_MAILBOX",
+    "Forest",
+    "Machine",
+    "Topology",
+    "build_topology",
+    "FAULT_INJECTORS",
+    "FaultInjector",
+    "FaultRecord",
+    "injector_for",
+    "TABLE1_SCENARIOS",
+    "Scenario",
+    "alert_type_for_category",
+    "scenario_by_category",
+    "scenario_by_number",
+    "InjectionOutcome",
+    "TransportService",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,526 @@
+"""Fault injectors: one per root-cause category of the paper's Table 1.
+
+Each injector perturbs the telemetry hub around an injection time so that
+(1) the corresponding monitor raises the right alert type and (2) the
+handler's query actions find category-specific evidence (probe failures,
+socket counts, stack traces, queue metrics, crash events).  The injector
+returns a :class:`FaultRecord` carrying the ground-truth category so the
+evaluation can score predictions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+from ..telemetry import Span, SystemEvent, TelemetryHub
+from .components import (
+    ROLE_DELIVERY,
+    ROLE_FRONTDOOR,
+    ROLE_HUB,
+    ROLE_MAILBOX,
+    Machine,
+    Topology,
+)
+
+
+@dataclass
+class FaultRecord:
+    """Ground truth about one injected fault."""
+
+    category: str
+    forest: str
+    machine: str
+    injected_at: float
+    expected_alert_type: str
+    description: str
+    details: Dict[str, str] = field(default_factory=dict)
+
+
+class FaultInjector(Protocol):
+    """Interface implemented by every fault injector."""
+
+    category: str
+    expected_alert_type: str
+
+    def inject(
+        self, topology: Topology, hub: TelemetryHub, forest: str, at: float,
+        rng: random.Random,
+    ) -> FaultRecord:
+        """Perturb telemetry for the category; return the ground-truth record."""
+        ...
+
+
+def _pick(machines: List[Machine], rng: random.Random) -> Machine:
+    if not machines:
+        raise ValueError("no machine available for fault injection")
+    return machines[rng.randrange(len(machines))]
+
+
+class HubPortExhaustionFault:
+    """UDP hub port exhaustion on a front-door machine (Table 1, Incident 2)."""
+
+    category = "HubPortExhaustion"
+    expected_alert_type = "OutboundProxyConnectFailure"
+
+    def inject(self, topology, hub, forest, at, rng) -> FaultRecord:
+        forest_obj = topology.forest(forest)
+        machine = _pick(forest_obj.by_role(ROLE_FRONTDOOR) or forest_obj.machines, rng)
+        sockets = rng.randint(14000, 16500)
+        machine.state["udp_socket_count"] = float(sockets)
+        hub.emit_metric("udp_socket_count", machine.name, at, float(sockets))
+        host = f"outbound-{forest}.example.com"
+        for i in range(2):
+            hub.emit_log(
+                at + 30 * i,
+                "ERROR",
+                "Transport.OutboundProxy",
+                machine.name,
+                (
+                    "InformativeSocketException: No such host is known. "
+                    f"A WinSock error: 11001 encountered when connecting to host: {host} "
+                    "at TcpClientFactory.Create(...) at SimpleSmtpClient.Connect(...)"
+                ),
+            )
+        hub.emit_log(
+            at + 70,
+            "ERROR",
+            "Transport.OutboundProxy",
+            machine.name,
+            f"DatacenterHubOutboundProxyProbe failed: DNS resolution error for {host}",
+        )
+        hub.emit_span(
+            Span(
+                trace_id=f"fault-{int(at)}-{machine.name}",
+                span_id=f"fault-{int(at)}-proxy",
+                parent_id=None,
+                service="Transport.OutboundProxy",
+                operation="smtp.connect",
+                start=at + 10,
+                duration=5.0,
+                status="error",
+                machine=machine.name,
+            )
+        )
+        return FaultRecord(
+            category=self.category,
+            forest=forest,
+            machine=machine.name,
+            injected_at=at,
+            expected_alert_type=self.expected_alert_type,
+            description="UDP hub ports exhausted on front door machine",
+            details={"udp_socket_count": str(sockets), "top_process": "Transport.exe"},
+        )
+
+
+class DeliveryHangFault:
+    """Mailbox delivery service hang: queue exceeds the limit (Incident 3)."""
+
+    category = "DeliveryHang"
+    expected_alert_type = "DeliveryQueueBacklog"
+
+    def inject(self, topology, hub, forest, at, rng) -> FaultRecord:
+        forest_obj = topology.forest(forest)
+        machine = _pick(forest_obj.by_role(ROLE_DELIVERY) or forest_obj.machines, rng)
+        queue = rng.randint(4000, 12000)
+        machine.state["delivery_queue_length"] = float(queue)
+        hub.emit_metric("delivery_queue_length", machine.name, at, float(queue))
+        hub.emit_log(
+            at + 20,
+            "ERROR",
+            "Transport.Delivery",
+            machine.name,
+            f"Number of messages queued for mailbox delivery exceeded the limit: {queue}",
+        )
+        for i in range(12):
+            hub.emit_log(
+                at + 40 + i,
+                "WARNING",
+                "Transport.Delivery",
+                machine.name,
+                "   at MailboxDeliveryAgent.WaitForStoreConnection(...) "
+                "   at DeliveryPipeline.Dispatch(...)",
+            )
+        return FaultRecord(
+            category=self.category,
+            forest=forest,
+            machine=machine.name,
+            injected_at=at,
+            expected_alert_type=self.expected_alert_type,
+            description="Mailbox delivery service hung; queue above limit",
+            details={"queue_length": str(queue)},
+        )
+
+
+class AuthCertIssueFault:
+    """Invalid certificate overrides the existing one (Incident 1)."""
+
+    category = "AuthCertIssue"
+    expected_alert_type = "AuthTokenFailure"
+
+    def inject(self, topology, hub, forest, at, rng) -> FaultRecord:
+        forest_obj = topology.forest(forest)
+        machine = _pick(forest_obj.by_role(ROLE_MAILBOX) or forest_obj.machines, rng)
+        hub.emit_event(
+            SystemEvent(
+                timestamp=at - 600,
+                kind="certificate_rotation",
+                machine=machine.name,
+                component="AuthService",
+                detail="Certificate rotated via configuration rollout",
+            )
+        )
+        for i in range(4):
+            hub.emit_log(
+                at + 15 * i,
+                "ERROR",
+                "AuthService",
+                machine.name,
+                "Token request failed: InvalidCertificateException - certificate "
+                "thumbprint mismatch; a previous invalid certificate overrode the "
+                "existing one",
+            )
+        hub.emit_log(
+            at + 90,
+            "CRITICAL",
+            "AuthService",
+            machine.name,
+            "Tokens for requesting services were not able to be created; downstream "
+            "services report user-facing outages",
+        )
+        return FaultRecord(
+            category=self.category,
+            forest=forest,
+            machine=machine.name,
+            injected_at=at,
+            expected_alert_type=self.expected_alert_type,
+            description="Invalid certificate overrode the existing one (misconfiguration)",
+            details={"certificate": "invalid-thumbprint"},
+        )
+
+
+class CodeRegressionFault:
+    """Availability drop of the SMTP auth component after a deployment (Incident 4)."""
+
+    category = "CodeRegression"
+    expected_alert_type = "SmtpAvailabilityDrop"
+
+    def inject(self, topology, hub, forest, at, rng) -> FaultRecord:
+        forest_obj = topology.forest(forest)
+        machine = _pick(forest_obj.by_role(ROLE_MAILBOX) or forest_obj.machines, rng)
+        hub.emit_event(
+            SystemEvent(
+                timestamp=at - 1800,
+                kind="deployment",
+                machine=machine.name,
+                component="Transport.SmtpAuth",
+                detail="Deployed build 1724.3 to forest",
+            )
+        )
+        rate = rng.uniform(0.3, 0.6)
+        machine.state["smtp_auth_error_rate"] = rate
+        hub.emit_metric("smtp_auth_error_rate", machine.name, at, rate)
+        for i in range(5):
+            hub.emit_log(
+                at + 10 * i,
+                "ERROR",
+                "Transport.SmtpAuth",
+                machine.name,
+                "NullReferenceException at SmtpAuthHandler.ValidateLogin(...) "
+                "introduced by recent change",
+            )
+        return FaultRecord(
+            category=self.category,
+            forest=forest,
+            machine=machine.name,
+            injected_at=at,
+            expected_alert_type=self.expected_alert_type,
+            description="Bug in the code shipped by a recent deployment",
+            details={"error_rate": f"{rate:.2f}", "build": "1724.3"},
+        )
+
+
+class CertForBogusTenantsFault:
+    """Spammers create bogus tenants with certificate-domain connectors (Incident 5)."""
+
+    category = "CertForBogusTenants"
+    expected_alert_type = "ConnectionLimitExceeded"
+
+    def inject(self, topology, hub, forest, at, rng) -> FaultRecord:
+        forest_obj = topology.forest(forest)
+        machine = _pick(forest_obj.by_role(ROLE_FRONTDOOR) or forest_obj.machines, rng)
+        connections = rng.randint(7000, 12000)
+        hub.emit_metric("concurrent_connections", forest, at, float(connections))
+        tenants = rng.randint(50, 200)
+        for i in range(min(tenants, 6)):
+            hub.emit_event(
+                SystemEvent(
+                    timestamp=at - rng.uniform(600, 7200),
+                    kind="tenant_created",
+                    machine=machine.name,
+                    component="Provisioning",
+                    detail=f"Tenant bogus-{i:03d} created with connector using certificate domain",
+                )
+            )
+        hub.emit_log(
+            at + 10,
+            "ERROR",
+            "Transport.Smtp",
+            machine.name,
+            f"The number of concurrent server connections exceeded a limit ({connections}); "
+            f"connectors matched by certificate domain from {tenants} newly created tenants",
+        )
+        return FaultRecord(
+            category=self.category,
+            forest=forest,
+            machine=machine.name,
+            injected_at=at,
+            expected_alert_type=self.expected_alert_type,
+            description="Spammers abused the system by creating bogus tenants with certificate connectors",
+            details={"tenants": str(tenants), "connections": str(connections)},
+        )
+
+
+class MaliciousAttackFault:
+    """Active exploit via remote PowerShell serialising a malicious blob (Incident 6)."""
+
+    category = "MaliciousAttack"
+    expected_alert_type = "ProcessCrashSpike"
+
+    def inject(self, topology, hub, forest, at, rng) -> FaultRecord:
+        forest_obj = topology.forest(forest)
+        machines = forest_obj.machines
+        for machine in machines[: max(3, len(machines) // 2)]:
+            for i in range(3):
+                hub.emit_event(
+                    SystemEvent(
+                        timestamp=at + rng.uniform(0, 300),
+                        kind="process_crash",
+                        machine=machine.name,
+                        component="Transport.Worker",
+                        detail="Worker crashed: SerializationException on malicious binary blob",
+                    )
+                )
+        machine = machines[0]
+        hub.emit_event(
+            SystemEvent(
+                timestamp=at,
+                kind="security_alert",
+                machine=machine.name,
+                component="Defender",
+                detail="Remote PowerShell session serialized suspicious binary blob",
+            )
+        )
+        hub.emit_log(
+            at + 5,
+            "CRITICAL",
+            "Transport.Worker",
+            machine.name,
+            "Forest-wide processes crashed over threshold; SerializationException: "
+            "malicious binary blob detected in remote PowerShell payload",
+        )
+        return FaultRecord(
+            category=self.category,
+            forest=forest,
+            machine=machine.name,
+            injected_at=at,
+            expected_alert_type=self.expected_alert_type,
+            description="Active exploit launched in remote PowerShell by serializing a malicious binary blob",
+            details={"vector": "remote PowerShell"},
+        )
+
+
+class UseRouteResolutionFault:
+    """Poisoned messages crash the configuration service (Incident 7)."""
+
+    category = "UseRouteResolution"
+    expected_alert_type = "PoisonMessageDetected"
+
+    def inject(self, topology, hub, forest, at, rng) -> FaultRecord:
+        forest_obj = topology.forest(forest)
+        machine = _pick(forest_obj.by_role(ROLE_HUB) or forest_obj.machines, rng)
+        count = rng.randint(5, 40)
+        hub.emit_log(
+            at,
+            "ERROR",
+            "Transport.Routing",
+            machine.name,
+            f"Poison message detected in routing pipeline; {count} poisoned messages quarantined",
+        )
+        hub.emit_log(
+            at + 30,
+            "ERROR",
+            "ConfigurationService",
+            machine.name,
+            "Configuration service was unable to update route resolution settings; "
+            "worker crashed while applying stale settings",
+        )
+        hub.emit_event(
+            SystemEvent(
+                timestamp=at + 35,
+                kind="process_crash",
+                machine=machine.name,
+                component="ConfigurationService",
+                detail="Crash while updating route resolution settings",
+            )
+        )
+        return FaultRecord(
+            category=self.category,
+            forest=forest,
+            machine=machine.name,
+            injected_at=at,
+            expected_alert_type=self.expected_alert_type,
+            description="Configuration service unable to update settings, leading to crash on poisoned messages",
+            details={"poisoned_messages": str(count)},
+        )
+
+
+class FullDiskFault:
+    """A specific disk fills up; processes throw IO exceptions (Incident 8)."""
+
+    category = "FullDisk"
+    expected_alert_type = "DiskSpaceLow"
+
+    def inject(self, topology, hub, forest, at, rng) -> FaultRecord:
+        forest_obj = topology.forest(forest)
+        machine = _pick(forest_obj.machines, rng)
+        usage = rng.uniform(97.0, 100.0)
+        machine.state["disk_usage_percent"] = usage
+        hub.emit_metric("disk_usage_percent", machine.name, at, usage, unit="%")
+        for i in range(4):
+            hub.emit_log(
+                at + 20 * i,
+                "ERROR",
+                "Transport.DiagnosticsLog",
+                machine.name,
+                "System.IO.IOException: There is not enough space on the disk. "
+                "   at DiagnosticsLog.Write(...)    at QueueManager.Persist(...)",
+            )
+            hub.emit_event(
+                SystemEvent(
+                    timestamp=at + 20 * i + 5,
+                    kind="process_crash",
+                    machine=machine.name,
+                    component="Transport.Worker",
+                    detail="Worker crashed with IO exception while writing to disk",
+                )
+            )
+        return FaultRecord(
+            category=self.category,
+            forest=forest,
+            machine=machine.name,
+            injected_at=at,
+            expected_alert_type=self.expected_alert_type,
+            description="A specific disk was full; many processes crashed with IO exceptions",
+            details={"disk_usage_percent": f"{usage:.1f}"},
+        )
+
+
+class InvalidJournalingFault:
+    """Invalid customer Transport config stalls the submission queue (Incident 9)."""
+
+    category = "InvalidJournaling"
+    expected_alert_type = "SubmissionQueueStuck"
+
+    def inject(self, topology, hub, forest, at, rng) -> FaultRecord:
+        forest_obj = topology.forest(forest)
+        machine = _pick(forest_obj.by_role(ROLE_MAILBOX) or forest_obj.machines, rng)
+        age = rng.uniform(3600, 14400)
+        machine.state["submission_queue_age_seconds"] = age
+        hub.emit_metric("submission_queue_age_seconds", machine.name, at, age)
+        hub.emit_event(
+            SystemEvent(
+                timestamp=at - 900,
+                kind="config_change",
+                machine=machine.name,
+                component="TenantSettings",
+                detail="Customer set an invalid value for the Transport journaling config",
+            )
+        )
+        for i in range(3):
+            hub.emit_log(
+                at + 25 * i,
+                "ERROR",
+                "Transport.Submission",
+                machine.name,
+                "TenantSettingsNotFoundException while evaluating journaling rule; "
+                "messages stuck in submission queue",
+            )
+        return FaultRecord(
+            category=self.category,
+            forest=forest,
+            machine=machine.name,
+            injected_at=at,
+            expected_alert_type=self.expected_alert_type,
+            description="Customer set an invalid Transport config value causing TenantSettingsNotFoundException",
+            details={"queue_age_seconds": f"{age:.0f}"},
+        )
+
+
+class DispatcherTaskCancelledFault:
+    """Authentication service unreachable; priority queues back up (Incident 10)."""
+
+    category = "DispatcherTaskCancelled"
+    expected_alert_type = "PriorityQueueDelay"
+
+    def inject(self, topology, hub, forest, at, rng) -> FaultRecord:
+        forest_obj = topology.forest(forest)
+        machine = _pick(forest_obj.by_role(ROLE_MAILBOX) or forest_obj.machines, rng)
+        age = rng.uniform(1800, 7200)
+        machine.state["normal_priority_queue_age_seconds"] = age
+        hub.emit_metric("normal_priority_queue_age_seconds", machine.name, at, age)
+        for i in range(4):
+            hub.emit_log(
+                at + 15 * i,
+                "ERROR",
+                "Transport.Dispatcher",
+                machine.name,
+                "TaskCanceledException: dispatcher task cancelled because the "
+                "authentication service was unreachable (network problem)",
+            )
+        hub.emit_span(
+            Span(
+                trace_id=f"fault-{int(at)}-{machine.name}-auth",
+                span_id=f"fault-{int(at)}-authcall",
+                parent_id=None,
+                service="AuthService",
+                operation="token.issue",
+                start=at + 5,
+                duration=30.0,
+                status="error",
+                machine=machine.name,
+            )
+        )
+        return FaultRecord(
+            category=self.category,
+            forest=forest,
+            machine=machine.name,
+            injected_at=at,
+            expected_alert_type=self.expected_alert_type,
+            description="Network problem made the authentication service unreachable; dispatcher tasks cancelled",
+            details={"queue_age_seconds": f"{age:.0f}"},
+        )
+
+
+#: Registry of injectors keyed by root-cause category name.
+FAULT_INJECTORS: Dict[str, FaultInjector] = {
+    injector.category: injector
+    for injector in (
+        HubPortExhaustionFault(),
+        DeliveryHangFault(),
+        AuthCertIssueFault(),
+        CodeRegressionFault(),
+        CertForBogusTenantsFault(),
+        MaliciousAttackFault(),
+        UseRouteResolutionFault(),
+        FullDiskFault(),
+        InvalidJournalingFault(),
+        DispatcherTaskCancelledFault(),
+    )
+}
+
+
+def injector_for(category: str) -> Optional[FaultInjector]:
+    """Return the registered injector for a category name, if any."""
+    return FAULT_INJECTORS.get(category)

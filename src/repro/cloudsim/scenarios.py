@@ -1,0 +1,187 @@
+"""Scenario catalogue: the paper's Table 1 root-cause exemplars.
+
+Each scenario describes one root-cause category: its severity, scope, alert
+type, the symptom on-call engineers observe, the underlying cause, and how
+often it recurred in the paper's one-year dataset.  The catalogue drives
+both the fault injectors (cloudsim) and the synthetic corpus generator
+(datagen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One root-cause scenario (a row of the paper's Table 1)."""
+
+    number: int
+    category: str
+    severity: int
+    scope: str
+    occurrences: int
+    alert_type: str
+    symptom: str
+    cause: str
+
+    def as_table_row(self) -> Dict[str, str]:
+        """Render this scenario as a Table 1 row."""
+        return {
+            "No.": str(self.number),
+            "Sev.": str(self.severity),
+            "Scope": self.scope.capitalize(),
+            "Category": self.category,
+            "Occur.": str(self.occurrences),
+            "Symptom": self.symptom,
+            "Cause": self.cause,
+        }
+
+
+#: The ten exemplar scenarios of Table 1, verbatim from the paper.
+TABLE1_SCENARIOS: List[Scenario] = [
+    Scenario(
+        number=1,
+        category="AuthCertIssue",
+        severity=1,
+        scope="forest",
+        occurrences=3,
+        alert_type="AuthTokenFailure",
+        symptom=(
+            "Tokens for requesting services were not able to be created. Several "
+            "services reported users experiencing outages."
+        ),
+        cause=(
+            "A previous invalid certificate overrode the existing one due to "
+            "misconfiguration."
+        ),
+    ),
+    Scenario(
+        number=2,
+        category="HubPortExhaustion",
+        severity=2,
+        scope="machine",
+        occurrences=27,
+        alert_type="OutboundProxyConnectFailure",
+        symptom="A single server failed to do DNS resolution for the incoming packages.",
+        cause="The UDP hub ports on the machine had been run out.",
+    ),
+    Scenario(
+        number=3,
+        category="DeliveryHang",
+        severity=2,
+        scope="forest",
+        occurrences=6,
+        alert_type="DeliveryQueueBacklog",
+        symptom="Mailbox delivery service hang for a long time.",
+        cause="Number of messages queued for mailbox delivery exceeded the limit.",
+    ),
+    Scenario(
+        number=4,
+        category="CodeRegression",
+        severity=2,
+        scope="forest",
+        occurrences=15,
+        alert_type="SmtpAvailabilityDrop",
+        symptom="An SMTP authentication component's availability dropped.",
+        cause="Bug in the code.",
+    ),
+    Scenario(
+        number=5,
+        category="CertForBogusTenants",
+        severity=2,
+        scope="forest",
+        occurrences=11,
+        alert_type="ConnectionLimitExceeded",
+        symptom="The number of concurrent server connections exceeded a limit.",
+        cause=(
+            "Spammers abused the system by creating a lot of bogus tenants with "
+            "connectors using a certificate domain."
+        ),
+    ),
+    Scenario(
+        number=6,
+        category="MaliciousAttack",
+        severity=1,
+        scope="forest",
+        occurrences=2,
+        alert_type="ProcessCrashSpike",
+        symptom="Forest-wide processes crashed over threshold.",
+        cause=(
+            "Active exploit was launched in remote PowerShell by serializing "
+            "malicious binary blob."
+        ),
+    ),
+    Scenario(
+        number=7,
+        category="UseRouteResolution",
+        severity=2,
+        scope="forest",
+        occurrences=9,
+        alert_type="PoisonMessageDetected",
+        symptom="Poisoned messages sent to the forest made the system unhealthy.",
+        cause=(
+            "A configuration service was unable to update the settings leading to "
+            "the crash."
+        ),
+    ),
+    Scenario(
+        number=8,
+        category="FullDisk",
+        severity=2,
+        scope="forest",
+        occurrences=2,
+        alert_type="DiskSpaceLow",
+        symptom="Many processes crashed and threw IO exceptions.",
+        cause="A specific disk was full.",
+    ),
+    Scenario(
+        number=9,
+        category="InvalidJournaling",
+        severity=2,
+        scope="forest",
+        occurrences=11,
+        alert_type="SubmissionQueueStuck",
+        symptom="Messages stuck in submission queue for a long time.",
+        cause=(
+            "The customer set an invalid value for the Transport config and caused "
+            "TenantSettingsNotFoundException."
+        ),
+    ),
+    Scenario(
+        number=10,
+        category="DispatcherTaskCancelled",
+        severity=3,
+        scope="forest",
+        occurrences=22,
+        alert_type="PriorityQueueDelay",
+        symptom=(
+            "Normal priority messages across a forest had been queued in submission "
+            "queues for a long time."
+        ),
+        cause="Network problem caused the authentication service to be unreachable.",
+    ),
+]
+
+
+def scenario_by_category(category: str) -> Optional[Scenario]:
+    """Look up a Table 1 scenario by its category name."""
+    for scenario in TABLE1_SCENARIOS:
+        if scenario.category == category:
+            return scenario
+    return None
+
+
+def scenario_by_number(number: int) -> Optional[Scenario]:
+    """Look up a Table 1 scenario by its row number."""
+    for scenario in TABLE1_SCENARIOS:
+        if scenario.number == number:
+            return scenario
+    return None
+
+
+def alert_type_for_category(category: str) -> Optional[str]:
+    """Alert type a category's incidents present with, if the category is known."""
+    scenario = scenario_by_category(category)
+    return scenario.alert_type if scenario else None

@@ -1,0 +1,218 @@
+"""Email traffic workload generator.
+
+Generates baseline telemetry for the simulated Transport service: message
+flow spans, steady-state metrics (queue lengths, socket counts, disk usage)
+and routine INFO logs.  Fault injectors then perturb this baseline so that
+monitors have both a background to contrast against and realistic noise —
+the paper stresses that real diagnostic data is "noisy, incomplete and
+inconsistent".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..telemetry import Span, TelemetryHub
+from .components import (
+    ROLE_DELIVERY,
+    ROLE_FRONTDOOR,
+    ROLE_HUB,
+    ROLE_MAILBOX,
+    Machine,
+    Topology,
+)
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs controlling the synthetic traffic volume and noise."""
+
+    #: Mean messages simulated per tick per forest (kept tiny; this is a
+    #: simulation of telemetry shape, not of throughput).
+    messages_per_tick: int = 6
+    #: Tick length in seconds.
+    tick_seconds: float = 300.0
+    #: Fraction of messages that are routed externally via front doors.
+    external_fraction: float = 0.4
+    #: Baseline probability of a benign transient error log per tick/machine.
+    noise_error_rate: float = 0.02
+    #: Baseline UDP sockets in use on hub machines.
+    base_udp_sockets: int = 800
+    #: Baseline delivery queue length.
+    base_queue_length: int = 120
+    #: Baseline disk usage percent.
+    base_disk_usage: float = 55.0
+    #: Baseline concurrent connections per forest.
+    base_connections: int = 900
+
+
+class WorkloadGenerator:
+    """Writes baseline telemetry for a window of simulated time."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        hub: TelemetryHub,
+        config: Optional[WorkloadConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.topology = topology
+        self.hub = hub
+        self.config = config or WorkloadConfig()
+        self.rng = rng or random.Random(0)
+        self._trace_counter = 0
+
+    def run(self, start: float, end: float) -> None:
+        """Generate baseline telemetry for every tick in [start, end)."""
+        tick = self.config.tick_seconds
+        cursor = start
+        while cursor < end:
+            self._tick(cursor)
+            cursor += tick
+
+    # ------------------------------------------------------------------ ticks
+    def _tick(self, now: float) -> None:
+        for forest in self.topology:
+            self._emit_forest_metrics(forest.name, now)
+            for machine in forest.machines:
+                self._emit_machine_metrics(machine, now)
+                self._maybe_emit_noise(machine, now)
+            for _ in range(self._poisson(self.config.messages_per_tick)):
+                self._emit_message_trace(forest.name, now)
+
+    def _poisson(self, mean: int) -> int:
+        # A light-weight Poisson approximation adequate for traffic counts.
+        return max(0, int(self.rng.gauss(mean, max(1.0, mean ** 0.5))))
+
+    def _emit_forest_metrics(self, forest_name: str, now: float) -> None:
+        jitter = self.rng.uniform(0.9, 1.1)
+        self.hub.emit_metric(
+            "concurrent_connections",
+            forest_name,
+            now,
+            self.config.base_connections * jitter,
+        )
+
+    def _emit_machine_metrics(self, machine: Machine, now: float) -> None:
+        cfg = self.config
+        rng = self.rng
+        if machine.role in (ROLE_HUB, ROLE_FRONTDOOR):
+            sockets = machine.state.get(
+                "udp_socket_count", cfg.base_udp_sockets * rng.uniform(0.8, 1.2)
+            )
+            self.hub.emit_metric("udp_socket_count", machine.name, now, sockets)
+        if machine.role == ROLE_DELIVERY:
+            queue = machine.state.get(
+                "delivery_queue_length", cfg.base_queue_length * rng.uniform(0.5, 1.5)
+            )
+            self.hub.emit_metric("delivery_queue_length", machine.name, now, queue)
+            self.hub.emit_metric(
+                "delivery_latency_seconds", machine.name, now, rng.uniform(0.5, 3.0)
+            )
+        if machine.role == ROLE_MAILBOX:
+            age = machine.state.get(
+                "submission_queue_age_seconds", rng.uniform(30, 300)
+            )
+            self.hub.emit_metric(
+                "submission_queue_age_seconds", machine.name, now, age
+            )
+            self.hub.emit_metric(
+                "normal_priority_queue_age_seconds",
+                machine.name,
+                now,
+                machine.state.get(
+                    "normal_priority_queue_age_seconds", rng.uniform(30, 400)
+                ),
+            )
+        disk = machine.state.get(
+            "disk_usage_percent", cfg.base_disk_usage + rng.uniform(-10, 10)
+        )
+        self.hub.emit_metric("disk_usage_percent", machine.name, now, disk, unit="%")
+        self.hub.emit_metric(
+            "smtp_auth_error_rate",
+            machine.name,
+            now,
+            machine.state.get("smtp_auth_error_rate", rng.uniform(0.0, 0.03)),
+        )
+
+    def _maybe_emit_noise(self, machine: Machine, now: float) -> None:
+        if self.rng.random() < self.config.noise_error_rate:
+            self.hub.emit_log(
+                now + self.rng.uniform(0, self.config.tick_seconds),
+                "WARNING",
+                "Transport.Routine",
+                machine.name,
+                "Transient retry while contacting directory service",
+            )
+
+    # ----------------------------------------------------------------- traces
+    def _emit_message_trace(self, forest_name: str, now: float) -> None:
+        forest = self.topology.forest(forest_name)
+        if forest is None:
+            return
+        mailboxes = forest.by_role(ROLE_MAILBOX)
+        hubs = forest.by_role(ROLE_HUB)
+        frontdoors = forest.by_role(ROLE_FRONTDOOR)
+        deliveries = forest.by_role(ROLE_DELIVERY)
+        if not (mailboxes and hubs and deliveries):
+            return
+        rng = self.rng
+        self._trace_counter += 1
+        trace_id = f"trace-{self._trace_counter:08d}"
+        t0 = now + rng.uniform(0, self.config.tick_seconds * 0.5)
+        mailbox = rng.choice(mailboxes)
+        hub_machine = rng.choice(hubs)
+        spans: List[Span] = [
+            Span(
+                trace_id=trace_id,
+                span_id=f"{trace_id}-root",
+                parent_id=None,
+                service="Transport.Submission",
+                operation="smtp.receive",
+                start=t0,
+                duration=rng.uniform(0.01, 0.05),
+                machine=mailbox.name,
+            ),
+            Span(
+                trace_id=trace_id,
+                span_id=f"{trace_id}-route",
+                parent_id=f"{trace_id}-root",
+                service="Transport.Routing",
+                operation="categorize",
+                start=t0 + 0.05,
+                duration=rng.uniform(0.01, 0.08),
+                machine=hub_machine.name,
+            ),
+        ]
+        if rng.random() < self.config.external_fraction and frontdoors:
+            frontdoor = rng.choice(frontdoors)
+            spans.append(
+                Span(
+                    trace_id=trace_id,
+                    span_id=f"{trace_id}-proxy",
+                    parent_id=f"{trace_id}-route",
+                    service="Transport.OutboundProxy",
+                    operation="smtp.connect",
+                    start=t0 + 0.15,
+                    duration=rng.uniform(0.05, 0.3),
+                    machine=frontdoor.name,
+                )
+            )
+        else:
+            delivery = rng.choice(deliveries)
+            spans.append(
+                Span(
+                    trace_id=trace_id,
+                    span_id=f"{trace_id}-deliver",
+                    parent_id=f"{trace_id}-route",
+                    service="Transport.Delivery",
+                    operation="mailbox.deliver",
+                    start=t0 + 0.15,
+                    duration=rng.uniform(0.05, 0.5),
+                    machine=delivery.name,
+                )
+            )
+        for span in spans:
+            self.hub.emit_span(span)

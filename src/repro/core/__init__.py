@@ -1,0 +1,31 @@
+"""Core RCACopilot pipeline: configuration, collection stage, prediction stage."""
+
+from .collection import CollectionOutcome, CollectionStage
+from .config import CollectionConfig, ContextSource, PipelineConfig, PredictionConfig
+from .errors import (
+    CollectionError,
+    NoHandlerError,
+    NotFittedError,
+    PredictionError,
+    RCACopilotError,
+)
+from .pipeline import DiagnosisReport, RCACopilot
+from .prediction import PredictionOutcome, PredictionStage
+
+__all__ = [
+    "CollectionOutcome",
+    "CollectionStage",
+    "CollectionConfig",
+    "ContextSource",
+    "PipelineConfig",
+    "PredictionConfig",
+    "CollectionError",
+    "NoHandlerError",
+    "NotFittedError",
+    "PredictionError",
+    "RCACopilotError",
+    "DiagnosisReport",
+    "RCACopilot",
+    "PredictionOutcome",
+    "PredictionStage",
+]

@@ -1,0 +1,73 @@
+"""Configuration of the RCACopilot pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..vectordb import DEFAULT_ALPHA, DEFAULT_K
+
+
+class ContextSource(str, Enum):
+    """Prompt context sources used by the Table 3 ablation."""
+
+    ALERT_INFO = "alert_info"
+    DIAGNOSTIC_INFO = "diagnostic_info"
+    SUMMARIZED_DIAGNOSTIC_INFO = "summarized_diagnostic_info"
+    ACTION_OUTPUT = "action_output"
+
+
+@dataclass
+class PredictionConfig:
+    """Knobs of the root cause prediction stage."""
+
+    #: Number of neighbour demonstrations in the CoT prompt (paper: K = 5).
+    k: int = DEFAULT_K
+    #: Temporal decay coefficient of the similarity formula (paper: 0.3).
+    alpha: float = DEFAULT_ALPHA
+    #: Draw the K demonstrations from distinct categories.
+    diverse_categories: bool = True
+    #: Summarize diagnostic information before prompting (Section 4.2.3).
+    summarize: bool = True
+    #: Context sources concatenated into the prompt input (Table 3).
+    context_sources: tuple = (ContextSource.SUMMARIZED_DIAGNOSTIC_INFO,)
+    #: Summary word budget.
+    summary_min_words: int = 120
+    summary_max_words: int = 140
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if not self.context_sources:
+            raise ValueError("at least one context source is required")
+
+
+@dataclass
+class CollectionConfig:
+    """Knobs of the diagnostic information collection stage."""
+
+    #: How far back from the alert the telemetry queries look, in seconds.
+    lookback_seconds: float = 3600.0
+    #: Whether execution failures should raise (True) or degrade to an
+    #: alert-info-only report (False), as the production system does.
+    strict: bool = False
+
+
+@dataclass
+class PipelineConfig:
+    """Top-level configuration of the on-call system."""
+
+    collection: CollectionConfig = field(default_factory=CollectionConfig)
+    prediction: PredictionConfig = field(default_factory=PredictionConfig)
+    #: Embedding backend: ``fasttext`` (paper default) or ``hashed`` (the
+    #: GPT-4 Embed. variant stand-in).
+    embedding_backend: str = "fasttext"
+
+    def __post_init__(self) -> None:
+        if self.embedding_backend not in ("fasttext", "hashed"):
+            raise ValueError(
+                f"unknown embedding backend: {self.embedding_backend!r} "
+                "(expected 'fasttext' or 'hashed')"
+            )

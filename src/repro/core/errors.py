@@ -1,0 +1,23 @@
+"""Exception hierarchy of the RCACopilot core pipeline."""
+
+from __future__ import annotations
+
+
+class RCACopilotError(Exception):
+    """Base class for all pipeline errors."""
+
+
+class CollectionError(RCACopilotError):
+    """Raised when the diagnostic information collection stage fails."""
+
+
+class NoHandlerError(CollectionError):
+    """Raised when no incident handler exists for an incident's alert type."""
+
+
+class PredictionError(RCACopilotError):
+    """Raised when the root cause prediction stage fails."""
+
+
+class NotFittedError(PredictionError):
+    """Raised when prediction is attempted before indexing historical incidents."""

@@ -1,0 +1,134 @@
+"""RCACopilot: the end-to-end on-call system (paper Figure 4).
+
+Wires the two stages together behind one object:
+
+* ``observe(alert)`` — parse an alert, collect diagnostic information with the
+  matched handler, and predict the root-cause category with an explanation;
+* ``diagnose(incident)`` — the same starting from an already-parsed incident
+  (used when replaying historical corpora);
+* ``index_history(store)`` — build/refresh the embedding index of labelled
+  historical incidents;
+* ``record_feedback(...)`` — fold the OCE-confirmed label back into the
+  history, the continuous-improvement loop the paper deploys.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..handlers import HandlerRegistry, default_registry
+from ..incidents import Incident, IncidentStore
+from ..llm import ChatModel, SimulatedLLM
+from ..monitors import Alert
+from ..telemetry import TelemetryHub
+from .collection import CollectionOutcome, CollectionStage
+from .config import PipelineConfig
+from .prediction import PredictionOutcome, PredictionStage
+
+
+@dataclass
+class DiagnosisReport:
+    """Everything RCACopilot produced for one incident."""
+
+    incident: Incident
+    collection: CollectionOutcome
+    prediction: Optional[PredictionOutcome]
+    elapsed_seconds: float
+
+    @property
+    def predicted_label(self) -> str:
+        """The label surfaced to the on-call engineer."""
+        if self.prediction is None:
+            return "Unknown"
+        return self.prediction.label
+
+    @property
+    def explanation(self) -> str:
+        """The LLM's explanation of the prediction."""
+        return self.prediction.prediction.explanation if self.prediction else ""
+
+    def render(self) -> str:
+        """Render a short on-call notification for the incident."""
+        lines = [
+            f"Incident {self.incident.incident_id}: {self.incident.title}",
+            f"Matched handler: {self.collection.matched_handler or '(none)'}",
+            f"Predicted root cause category: {self.predicted_label}",
+        ]
+        if self.prediction and self.prediction.prediction.is_unseen:
+            lines.append("Note: no similar historical incident; this looks like a new root cause.")
+        if self.explanation:
+            lines.append(f"Explanation: {self.explanation}")
+        mitigations = (
+            self.collection.execution.mitigations if self.collection.execution else []
+        )
+        if mitigations:
+            lines.append("Suggested mitigations: " + "; ".join(mitigations))
+        return "\n".join(lines)
+
+
+class RCACopilot:
+    """The on-call system: collection stage + prediction stage."""
+
+    def __init__(
+        self,
+        hub: TelemetryHub,
+        registry: Optional[HandlerRegistry] = None,
+        model: Optional[ChatModel] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.hub = hub
+        self.registry = registry or default_registry()
+        self.model = model or SimulatedLLM()
+        self.collection = CollectionStage(self.registry, hub, self.config.collection)
+        self.prediction = PredictionStage(
+            model=self.model,
+            config=self.config.prediction,
+            embedding_backend=self.config.embedding_backend,
+        )
+        self.history = IncidentStore()
+        self._indexed = False
+
+    # ----------------------------------------------------------------- history
+    def index_history(self, history: IncidentStore) -> None:
+        """Index labelled historical incidents for neighbour retrieval."""
+        self.history = history
+        self.prediction.index_history(history)
+        self._indexed = True
+
+    def record_feedback(self, incident: Incident, confirmed_category: str) -> None:
+        """Fold an OCE-confirmed label back into the history.
+
+        The index is rebuilt lazily on the next :meth:`index_history` call;
+        in production this runs on a schedule rather than per incident.
+        """
+        if incident.incident_id not in self.history:
+            self.history.add(incident)
+        self.history.relabel(incident.incident_id, confirmed_category)
+
+    # ---------------------------------------------------------------- diagnose
+    def observe(self, alert: Alert) -> DiagnosisReport:
+        """Handle an incoming alert end to end."""
+        incident = self.collection.parse_alert(alert)
+        return self.diagnose(incident)
+
+    def diagnose(self, incident: Incident) -> DiagnosisReport:
+        """Run both stages for an incident and return the full report."""
+        started = time.perf_counter()
+        collection = self.collection.collect(incident)
+        prediction: Optional[PredictionOutcome] = None
+        if self._indexed:
+            prediction = self.prediction.predict(incident)
+        elapsed = time.perf_counter() - started
+        return DiagnosisReport(
+            incident=incident,
+            collection=collection,
+            prediction=prediction,
+            elapsed_seconds=elapsed,
+        )
+
+    def diagnose_many(self, incidents: List[Incident]) -> List[DiagnosisReport]:
+        """Diagnose a batch of incidents."""
+        return [self.diagnose(incident) for incident in incidents]

@@ -1,0 +1,214 @@
+"""Stage 2: root cause prediction (paper Section 4.2, Figure 4 right half).
+
+Pipeline per incoming incident:
+
+1. build the incident's prompt context from the configured sources
+   (summarized diagnostic info by default; AlertInfo / raw DiagnosticInfo /
+   ActionOutput for the Table 3 ablation);
+2. embed the *original* diagnostic information and run the temporal-decay
+   nearest-neighbour search over the historical incident index;
+3. construct the Figure 9 chain-of-thought prompt with the neighbours'
+   summarized information as demonstrations;
+4. ask the LLM, parse the answer into a category (or a newly generated label
+   for unseen incidents) plus an explanation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..embedding import FastTextConfig, FastTextEmbedder, HashedEmbedder
+from ..incidents import Incident, IncidentStore
+from ..llm import (
+    CategoryPrediction,
+    ChainOfThoughtPredictor,
+    ChatModel,
+    Demonstration,
+    DiagnosticSummarizer,
+    SimulatedLLM,
+)
+from ..vectordb import NearestNeighborSearch, SimilarityConfig, VectorStore
+from .config import ContextSource, PredictionConfig
+from .errors import NotFittedError
+
+
+@dataclass
+class PredictionOutcome:
+    """The prediction stage's result for one incident."""
+
+    incident_id: str
+    prediction: CategoryPrediction
+    summary: str
+    neighbors: List[Demonstration] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def label(self) -> str:
+        """Predicted label (known category or newly generated one)."""
+        return self.prediction.label
+
+
+class PredictionStage:
+    """Embeds history, retrieves neighbours, and predicts categories."""
+
+    def __init__(
+        self,
+        model: Optional[ChatModel] = None,
+        config: Optional[PredictionConfig] = None,
+        embedding_backend: str = "fasttext",
+        embedder=None,
+    ) -> None:
+        self.model = model or SimulatedLLM()
+        self.config = config or PredictionConfig()
+        self.summarizer = DiagnosticSummarizer(
+            self.model,
+            min_words=self.config.summary_min_words,
+            max_words=self.config.summary_max_words,
+        )
+        self.predictor = ChainOfThoughtPredictor(self.model)
+        if embedder is not None:
+            self.embedder = embedder
+        elif embedding_backend == "hashed":
+            self.embedder = HashedEmbedder()
+        elif embedding_backend == "fasttext":
+            self.embedder = FastTextEmbedder(FastTextConfig())
+        else:
+            raise ValueError(f"unknown embedding backend: {embedding_backend!r}")
+        self.vector_store: Optional[VectorStore] = None
+        self.search: Optional[NearestNeighborSearch] = None
+        self._summaries: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ index
+    def index_history(self, history: IncidentStore) -> None:
+        """Fit the embedder and index the labelled historical incidents.
+
+        The embedding uses the *original* diagnostic information while the
+        prompt demonstrations use the summarized text, exactly as Section
+        4.2.4 describes ("we use the original incident information to do the
+        embedding and nearest neighbor search, and use the corresponding
+        summarized information as part of demonstrations").
+        """
+        labelled = history.labelled()
+        if not labelled:
+            raise NotFittedError("history contains no labelled incidents to index")
+        texts = [incident.diagnostic_info() or incident.alert_info() for incident in labelled]
+        if hasattr(self.embedder, "fit"):
+            self.embedder.fit(texts)
+        self.vector_store = VectorStore()
+        self._summaries = {}
+        for incident, text in zip(labelled, texts):
+            vector = self.embedder.embed(text)
+            summary = self._summary_for(incident)
+            self._summaries[incident.incident_id] = summary
+            self.vector_store.add(
+                incident_id=incident.incident_id,
+                vector=np.asarray(vector),
+                created_day=incident.created_day,
+                category=incident.category or "",
+                text=summary,
+            )
+        self.search = NearestNeighborSearch(
+            self.vector_store,
+            SimilarityConfig(
+                alpha=self.config.alpha,
+                k=self.config.k,
+                diverse_categories=self.config.diverse_categories,
+            ),
+        )
+
+    def add_to_index(self, incident: Incident) -> None:
+        """Add one labelled incident to an existing index.
+
+        Used by the continuous-labelling evaluation (and by production
+        deployments): after OCEs confirm an incident's category, it becomes a
+        retrievable neighbour for future incidents without re-fitting the
+        embedder.
+        """
+        if self.vector_store is None or self.search is None:
+            raise NotFittedError("index_history must be called before add_to_index")
+        if not incident.is_labelled():
+            raise ValueError("only labelled incidents can be added to the index")
+        if incident.incident_id in self.vector_store:
+            return
+        text = incident.diagnostic_info() or incident.alert_info()
+        vector = np.asarray(self.embedder.embed(text))
+        summary = self._summary_for(incident)
+        self._summaries[incident.incident_id] = summary
+        self.vector_store.add(
+            incident_id=incident.incident_id,
+            vector=vector,
+            created_day=incident.created_day,
+            category=incident.category or "",
+            text=summary,
+        )
+
+    def _summary_for(self, incident: Incident) -> str:
+        if incident.summary:
+            return incident.summary
+        if self.config.summarize and not incident.diagnostic.is_empty():
+            summary = self.summarizer.summarize(incident.diagnostic_info()).text
+            incident.summary = summary
+            return summary
+        return incident.diagnostic_info() or incident.alert_info()
+
+    # ---------------------------------------------------------------- predict
+    def build_context(self, incident: Incident) -> str:
+        """Assemble the prompt input text from the configured context sources."""
+        parts: List[str] = []
+        for source in self.config.context_sources:
+            if source is ContextSource.ALERT_INFO:
+                parts.append(incident.alert_info())
+            elif source is ContextSource.DIAGNOSTIC_INFO:
+                parts.append(incident.diagnostic_info())
+            elif source is ContextSource.SUMMARIZED_DIAGNOSTIC_INFO:
+                parts.append(self._summary_for(incident))
+            elif source is ContextSource.ACTION_OUTPUT:
+                parts.append(incident.action_output_info())
+        return "\n\n".join(part for part in parts if part).strip()
+
+    def retrieve(self, incident: Incident, k: Optional[int] = None) -> List[Demonstration]:
+        """Retrieve the top-K neighbour demonstrations for an incident."""
+        if self.search is None or self.vector_store is None:
+            raise NotFittedError("index_history must be called before retrieval")
+        query_text = incident.diagnostic_info() or incident.alert_info()
+        query_vector = np.asarray(self.embedder.embed(query_text))
+        neighbors = self.search.search(
+            query_vector,
+            incident.created_day,
+            k=k or self.config.k,
+            exclude_ids={incident.incident_id},
+        )
+        return [
+            Demonstration(
+                incident_id=n.incident_id,
+                summary=n.entry.text,
+                category=n.category,
+                similarity=n.similarity,
+            )
+            for n in neighbors
+        ]
+
+    def predict(self, incident: Incident) -> PredictionOutcome:
+        """Run the full prediction stage for one incident."""
+        started = time.perf_counter()
+        context = self.build_context(incident)
+        demonstrations = self.retrieve(incident)
+        prediction = self.predictor.predict(context, demonstrations)
+        elapsed = time.perf_counter() - started
+        incident.predicted_category = prediction.label
+        incident.explanation = prediction.explanation
+        return PredictionOutcome(
+            incident_id=incident.incident_id,
+            prediction=prediction,
+            summary=self._summaries.get(incident.incident_id, context),
+            neighbors=demonstrations,
+            elapsed_seconds=elapsed,
+        )
+
+    def predict_many(self, incidents: Sequence[Incident]) -> List[PredictionOutcome]:
+        """Predict for many incidents (used by the evaluation harness)."""
+        return [self.predict(incident) for incident in incidents]

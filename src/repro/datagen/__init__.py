@@ -1,0 +1,44 @@
+"""Synthetic corpus generation: category catalogue, diagnostic info, generator, splits."""
+
+from .categories import (
+    CategoryCatalogue,
+    CategorySpec,
+    synthesize_long_tail,
+    table1_category_specs,
+)
+from .diaginfo import render_action_output, render_diagnostic_report
+from .generator import (
+    CorpusConfig,
+    CorpusGenerator,
+    allocate_occurrences,
+    generate_corpus,
+    small_corpus,
+)
+from .splits import (
+    SplitSummary,
+    chronological_split,
+    kfold,
+    random_split,
+    stratified_split,
+    summarize_split,
+)
+
+__all__ = [
+    "CategoryCatalogue",
+    "CategorySpec",
+    "synthesize_long_tail",
+    "table1_category_specs",
+    "render_action_output",
+    "render_diagnostic_report",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "allocate_occurrences",
+    "generate_corpus",
+    "small_corpus",
+    "SplitSummary",
+    "chronological_split",
+    "kfold",
+    "random_split",
+    "stratified_split",
+    "summarize_split",
+]

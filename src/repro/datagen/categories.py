@@ -1,0 +1,253 @@
+"""Root-cause category catalogue for the synthetic corpus.
+
+The paper's one-year dataset has 653 incidents spread over a long-tail set of
+root-cause categories: 163 of the incidents are the *first* occurrence of
+their category (24.96%, Insight 3), i.e. the corpus contains 163 distinct
+categories.  Ten of those categories are spelled out in Table 1; the rest are
+synthesised here from a vocabulary of components and failure modes, each with
+its own signature evidence tokens so that retrieval and prediction have a
+learnable signal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cloudsim.scenarios import TABLE1_SCENARIOS
+from ..monitors.alerting import ALERT_TYPES
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """Full specification of one root-cause category.
+
+    Attributes:
+        name: Category label (the prediction target).
+        alert_type: Alert type its incidents present with.
+        severity: Typical severity (1-4).
+        scope: ``machine`` or ``forest``.
+        symptom: Symptom text (what the monitor/alert describes).
+        cause: Ground-truth cause text.
+        signature_tokens: Tokens that reliably appear in this category's
+            diagnostic information and distinguish it from other categories
+            sharing the same alert type.
+        mitigation: Suggested mitigation step.
+    """
+
+    name: str
+    alert_type: str
+    severity: int
+    scope: str
+    symptom: str
+    cause: str
+    signature_tokens: Sequence[str] = field(default_factory=tuple)
+    mitigation: str = "Engage the owning team for further investigation"
+
+
+#: Signature evidence for the ten Table 1 categories.
+_TABLE1_SIGNATURES: Dict[str, Sequence[str]] = {
+    "AuthCertIssue": (
+        "InvalidCertificateException",
+        "certificate thumbprint mismatch",
+        "token request failed",
+    ),
+    "HubPortExhaustion": (
+        "WinSock error: 11001",
+        "UDP socket count",
+        "Transport.exe",
+        "No such host is known",
+    ),
+    "DeliveryHang": (
+        "MailboxDeliveryAgent.WaitForStoreConnection",
+        "delivery queue length",
+        "messages queued for mailbox delivery exceeded the limit",
+    ),
+    "CodeRegression": (
+        "NullReferenceException",
+        "SmtpAuthHandler.ValidateLogin",
+        "deployed build",
+    ),
+    "CertForBogusTenants": (
+        "bogus tenants",
+        "certificate domain connector",
+        "concurrent server connections exceeded",
+    ),
+    "MaliciousAttack": (
+        "SerializationException",
+        "malicious binary blob",
+        "remote PowerShell",
+    ),
+    "UseRouteResolution": (
+        "poison message",
+        "route resolution settings",
+        "configuration service",
+    ),
+    "FullDisk": (
+        "System.IO.IOException",
+        "not enough space on the disk",
+        "DiagnosticsLog.Write",
+    ),
+    "InvalidJournaling": (
+        "TenantSettingsNotFoundException",
+        "journaling rule",
+        "invalid value for the Transport config",
+    ),
+    "DispatcherTaskCancelled": (
+        "TaskCanceledException",
+        "authentication service was unreachable",
+        "dispatcher task cancelled",
+    ),
+}
+
+_TABLE1_MITIGATIONS: Dict[str, str] = {
+    "AuthCertIssue": "Roll back the certificate configuration to the last known good version",
+    "HubPortExhaustion": "Recycle Transport.exe on the affected front door machine to release UDP ports",
+    "DeliveryHang": "Restart the mailbox delivery service and drain the queue",
+    "CodeRegression": "Roll back the offending deployment",
+    "CertForBogusTenants": "Block the abusive tenants and throttle connector creation",
+    "MaliciousAttack": "Isolate affected machines and engage the security team",
+    "UseRouteResolution": "Purge poisoned messages and restart the configuration service",
+    "FullDisk": "Free disk space or fail the role over to a healthy machine",
+    "InvalidJournaling": "Correct the tenant Transport configuration value",
+    "DispatcherTaskCancelled": "Restore network connectivity to the authentication service",
+}
+
+
+def table1_category_specs() -> List[CategorySpec]:
+    """The ten Table 1 categories as full :class:`CategorySpec` entries."""
+    specs: List[CategorySpec] = []
+    for scenario in TABLE1_SCENARIOS:
+        specs.append(
+            CategorySpec(
+                name=scenario.category,
+                alert_type=scenario.alert_type,
+                severity=scenario.severity,
+                scope=scenario.scope,
+                symptom=scenario.symptom,
+                cause=scenario.cause,
+                signature_tokens=_TABLE1_SIGNATURES[scenario.category],
+                mitigation=_TABLE1_MITIGATIONS[scenario.category],
+            )
+        )
+    return specs
+
+
+# Vocabulary used to synthesise the long-tail categories.
+_COMPONENTS = (
+    "Routing", "Categorizer", "StoreDriver", "Antispam", "Antimalware",
+    "Journaling", "Quarantine", "AddressBook", "Directory", "Throttling",
+    "Pickup", "Replay", "ShadowRedundancy", "Dumpster", "TransportRules",
+    "ContentConversion", "Dkim", "Dmarc", "TlsNegotiation", "IpFiltering",
+    "RecipientResolver", "QueueViewer", "MessageTracking", "EdgeSync",
+    "HealthManager", "Provisioning", "TenantCache", "ConfigSync", "DnsClient",
+    "ProxyPool", "CertStore", "TokenBroker", "Scheduler", "BackPressure",
+)
+
+_FAILURE_MODES = (
+    ("Timeout", "requests exceeded the configured timeout", "OperationTimedOutException"),
+    ("MemoryLeak", "working set grew until the process was recycled", "OutOfMemoryException"),
+    ("ThreadStarvation", "thread pool exhausted by blocked work items", "ThreadPoolStarvation"),
+    ("ConfigDrift", "configuration drifted from the deployed baseline", "ConfigMismatchException"),
+    ("StaleCache", "stale cache entries served after invalidation failed", "CacheCoherencyException"),
+    ("QuotaExceeded", "tenant exceeded the provisioned quota", "QuotaExceededException"),
+    ("Deadlock", "two workers deadlocked on shared locks", "DeadlockDetectedException"),
+    ("DnsFailure", "name resolution failed for a dependency endpoint", "DnsResolutionException"),
+    ("TlsHandshake", "TLS handshake failures to a partner endpoint", "TlsHandshakeException"),
+    ("Throttled", "requests throttled by back pressure", "BackPressureException"),
+    ("VersionSkew", "mixed-version servers disagreed on the wire format", "VersionSkewException"),
+    ("CertExpired", "an endpoint certificate expired", "CertificateExpiredException"),
+    ("DependencyOutage", "an upstream dependency was unavailable", "DependencyUnavailableException"),
+    ("CorruptQueue", "an on-disk queue file was corrupted", "QueueCorruptionException"),
+    ("PermissionDenied", "a service account lost a required permission", "UnauthorizedAccessException"),
+)
+
+
+def synthesize_long_tail(
+    count: int,
+    seed: int = 11,
+    alert_types: Sequence[str] = ALERT_TYPES,
+) -> List[CategorySpec]:
+    """Deterministically synthesise ``count`` long-tail category specs.
+
+    Category names combine a component and a failure mode
+    (e.g. ``RoutingTimeout``); each receives a distinct exception token so
+    diagnostic text is separable, plus the shared failure-mode token so some
+    confusability remains (as in real data).
+    """
+    rng = random.Random(seed)
+    pairs = [
+        (component, mode)
+        for component in _COMPONENTS
+        for mode in _FAILURE_MODES
+    ]
+    rng.shuffle(pairs)
+    if count > len(pairs):
+        raise ValueError(
+            f"cannot synthesise {count} categories; vocabulary supports {len(pairs)}"
+        )
+    specs: List[CategorySpec] = []
+    for index in range(count):
+        component, (mode_name, mode_text, exception) = pairs[index]
+        name = f"{component}{mode_name}"
+        alert_type = alert_types[index % len(alert_types)]
+        severity = rng.choice((2, 2, 3, 3, 3, 4))
+        scope = rng.choice(("forest", "forest", "machine"))
+        specs.append(
+            CategorySpec(
+                name=name,
+                alert_type=alert_type,
+                severity=severity,
+                scope=scope,
+                symptom=f"{component} component degraded: {mode_text}.",
+                cause=f"{mode_text.capitalize()} in the {component} component.",
+                signature_tokens=(
+                    exception,
+                    f"{component}.{mode_name}Handler",
+                    f"{component.lower()} {mode_name.lower()}",
+                ),
+                mitigation=f"Mitigate the {component} {mode_name.lower()} per runbook",
+            )
+        )
+    return specs
+
+
+class CategoryCatalogue:
+    """The full catalogue of categories available to the corpus generator."""
+
+    def __init__(self, specs: Sequence[CategorySpec]) -> None:
+        self._specs: Dict[str, CategorySpec] = {}
+        for spec in specs:
+            if spec.name in self._specs:
+                raise ValueError(f"duplicate category name: {spec.name}")
+            self._specs[spec.name] = spec
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def names(self) -> List[str]:
+        """All category names (sorted)."""
+        return sorted(self._specs)
+
+    def get(self, name: str) -> Optional[CategorySpec]:
+        """Look up a spec by category name."""
+        return self._specs.get(name)
+
+    def specs(self) -> List[CategorySpec]:
+        """All specs in insertion order."""
+        return list(self._specs.values())
+
+    def by_alert_type(self, alert_type: str) -> List[CategorySpec]:
+        """Specs whose incidents present with a given alert type."""
+        return [s for s in self._specs.values() if s.alert_type == alert_type]
+
+    @classmethod
+    def default(cls, total_categories: int = 163, seed: int = 11) -> "CategoryCatalogue":
+        """Build the default catalogue: Table 1 plus a synthesised long tail."""
+        table1 = table1_category_specs()
+        extra = synthesize_long_tail(max(0, total_categories - len(table1)), seed=seed)
+        return cls(table1 + extra)

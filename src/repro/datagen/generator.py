@@ -1,0 +1,246 @@
+"""Synthetic one-year incident corpus generator.
+
+Reproduces the population statistics of the paper's dataset (Section 3,
+Section 5.1):
+
+* 653 incidents collected over one year;
+* 163 distinct root-cause categories, so 24.96% of incidents are the first
+  occurrence of their category (Insight 3 / Figure 3's long tail);
+* recurrences of the same category cluster in time — roughly 93.8% of
+  recurrence intervals fall within 20 days (Insight 2 / Figure 2);
+* the ten Table 1 categories keep their reported occurrence counts.
+
+Every incident carries alert information, a rendered multi-source diagnostic
+report, and handler action outputs, so both pipeline stages and all baselines
+can consume the corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cloudsim.components import Topology, build_topology
+from ..incidents import Incident, IncidentStore, Severity, SECONDS_PER_DAY
+from ..monitors import AlertScope
+from .categories import CategoryCatalogue, CategorySpec, table1_category_specs
+from .diaginfo import render_action_output, render_diagnostic_report
+
+
+@dataclass
+class CorpusConfig:
+    """Configuration of the synthetic corpus."""
+
+    total_incidents: int = 653
+    total_categories: int = 163
+    duration_days: float = 365.0
+    seed: int = 2023
+    #: Fraction of recurrence intervals that should fall within 20 days.
+    short_interval_fraction: float = 0.938
+    #: Mean of the short (within-burst) recurrence interval, in days.  The
+    #: paper's recurring categories re-occur in tight bursts (e.g. 11 times in
+    #: 15 days, 22 times within a week), so the mean gap is under two days.
+    short_interval_mean_days: float = 1.5
+    owning_team: str = "Transport"
+
+    def __post_init__(self) -> None:
+        if self.total_categories > self.total_incidents:
+            raise ValueError("cannot have more categories than incidents")
+        if self.total_categories < len(table1_category_specs()):
+            raise ValueError("total_categories must cover at least the Table 1 categories")
+
+
+def allocate_occurrences(
+    config: CorpusConfig, catalogue: CategoryCatalogue, rng: random.Random
+) -> Dict[str, int]:
+    """Decide how many incidents each category contributes.
+
+    Table 1 categories keep their published occurrence counts; the remaining
+    incidents are allocated to the long-tail categories by preferential
+    attachment over a small set of "recurring" categories, which produces the
+    Figure 3 shape: most categories occur exactly once, a few occur often.
+    """
+    table1 = {spec.name: spec for spec in table1_category_specs()}
+    # Table 1 counts are preserved verbatim for the full-size corpus and
+    # scaled down proportionally for smaller corpora (tests, quickstart).
+    scale = min(1.0, config.total_incidents / 653.0)
+    table1_counts = {
+        name: max(1, int(round(_table1_occurrences()[name] * scale)))
+        for name in table1
+    }
+    names = catalogue.names()
+    long_tail = [name for name in names if name not in table1]
+    counts: Dict[str, int] = {name: 1 for name in long_tail}
+    counts.update(table1_counts)
+
+    remaining = config.total_incidents - sum(counts.values())
+    if remaining < 0:
+        raise ValueError(
+            "total_incidents too small for the requested number of categories"
+        )
+    # Roughly a quarter of the long-tail categories are allowed to recur.
+    recurring_pool = long_tail[: max(1, len(long_tail) // 4)]
+    weights = {name: 1.0 for name in recurring_pool}
+    for _ in range(remaining):
+        total_weight = sum(weights.values())
+        pick = rng.uniform(0, total_weight)
+        cumulative = 0.0
+        chosen = recurring_pool[-1]
+        for name in recurring_pool:
+            cumulative += weights[name]
+            if pick <= cumulative:
+                chosen = name
+                break
+        counts[chosen] += 1
+        weights[chosen] += 1.0  # preferential attachment
+    return counts
+
+
+def _table1_occurrences() -> Dict[str, int]:
+    from ..cloudsim.scenarios import TABLE1_SCENARIOS
+
+    return {s.category: s.occurrences for s in TABLE1_SCENARIOS}
+
+
+def _category_timestamps(
+    occurrences: int, config: CorpusConfig, rng: random.Random
+) -> List[float]:
+    """Generate creation times (in days) for one category's incidents.
+
+    The first occurrence is uniform over the year; subsequent occurrences
+    mostly follow within short intervals (Insight 2), with an occasional long
+    gap.
+    """
+    horizon = config.duration_days
+    first = rng.uniform(0, horizon * 0.9)
+    times = [first]
+    current = first
+    for _ in range(occurrences - 1):
+        if rng.random() < config.short_interval_fraction:
+            gap = min(19.5, rng.expovariate(1.0 / config.short_interval_mean_days))
+            gap = max(0.05, gap)
+        else:
+            gap = rng.uniform(21.0, 90.0)
+        current += gap
+        if current >= horizon:
+            # Start a fresh burst somewhere earlier in the year rather than
+            # spilling past it; keeping the new anchor close to the previous
+            # burst preserves the temporal locality of recurrences.
+            current = max(0.0, first - rng.uniform(1.0, 30.0))
+        times.append(current)
+    return times
+
+
+class CorpusGenerator:
+    """Generates the labelled synthetic incident corpus."""
+
+    def __init__(
+        self,
+        config: Optional[CorpusConfig] = None,
+        catalogue: Optional[CategoryCatalogue] = None,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        self.config = config or CorpusConfig()
+        self.catalogue = catalogue or CategoryCatalogue.default(
+            total_categories=self.config.total_categories, seed=self.config.seed
+        )
+        self.topology = topology or build_topology()
+        self.rng = random.Random(self.config.seed)
+
+    def generate(self) -> IncidentStore:
+        """Generate the full corpus as an :class:`IncidentStore`."""
+        counts = allocate_occurrences(self.config, self.catalogue, self.rng)
+        machines = [m.name for m in self.topology.machines]
+        incidents: List[Incident] = []
+        serial = 0
+        for name in self.catalogue.names():
+            spec = self.catalogue.get(name)
+            assert spec is not None
+            occurrences = counts.get(name, 0)
+            if occurrences <= 0:
+                continue
+            times = _category_timestamps(occurrences, self.config, self.rng)
+            for created_day in times:
+                serial += 1
+                incidents.append(
+                    self._build_incident(
+                        serial=serial,
+                        spec=spec,
+                        created_day=created_day,
+                        machine=self.rng.choice(machines),
+                    )
+                )
+        incidents.sort(key=lambda i: i.created_at)
+        # Re-number chronologically so ids are stable and readable.
+        renumbered: List[Incident] = []
+        for index, incident in enumerate(incidents, start=1):
+            incident.incident_id = f"INC-{index:06d}"
+            renumbered.append(incident)
+        store = IncidentStore()
+        store.extend(renumbered)
+        return store
+
+    def _confuser_tokens(self, spec: CategorySpec) -> tuple:
+        """Signature tokens of a sibling category sharing the alert type."""
+        siblings = [
+            s
+            for s in self.catalogue.by_alert_type(spec.alert_type)
+            if s.name != spec.name and s.signature_tokens
+        ]
+        if not siblings:
+            return ()
+        sibling = self.rng.choice(siblings)
+        return tuple(sibling.signature_tokens[:2])
+
+    def _build_incident(
+        self, serial: int, spec: CategorySpec, created_day: float, machine: str
+    ) -> Incident:
+        created_at = created_day * SECONDS_PER_DAY
+        scope = AlertScope.MACHINE if spec.scope == "machine" else AlertScope.FOREST
+        forest = machine.rsplit("-", 2)[0]
+        seed = hash((self.config.seed, spec.name, serial)) & 0x7FFFFFFF
+        diagnostic = render_diagnostic_report(
+            spec, machine, seed, confuser_tokens=self._confuser_tokens(spec)
+        )
+        action_output = render_action_output(spec, machine, seed)
+        incident = Incident(
+            incident_id=f"INC-TMP-{serial:06d}",
+            title=f"[sev{spec.severity}] {spec.alert_type}: {spec.symptom}",
+            created_at=created_at,
+            alert_type=spec.alert_type,
+            scope=scope,
+            severity=Severity(min(max(spec.severity, 1), 4)),
+            forest=forest,
+            machine=machine if scope is AlertScope.MACHINE else "",
+            owning_team=self.config.owning_team,
+            owning_tenant=f"tenant-{self.rng.randint(1, 500):04d}",
+            alert_message=spec.symptom,
+            diagnostic=diagnostic,
+            action_output=action_output,
+            category=spec.name,
+        )
+        return incident
+
+
+def generate_corpus(
+    total_incidents: int = 653,
+    total_categories: int = 163,
+    seed: int = 2023,
+    duration_days: float = 365.0,
+) -> IncidentStore:
+    """Convenience wrapper building the default corpus in one call."""
+    config = CorpusConfig(
+        total_incidents=total_incidents,
+        total_categories=total_categories,
+        seed=seed,
+        duration_days=duration_days,
+    )
+    return CorpusGenerator(config).generate()
+
+
+def small_corpus(seed: int = 7) -> IncidentStore:
+    """A small corpus (fast) used by tests and the quickstart example."""
+    return generate_corpus(
+        total_incidents=120, total_categories=30, seed=seed, duration_days=120.0
+    )

@@ -1,0 +1,120 @@
+"""Train/test split helpers for the incident corpus.
+
+The paper divides the one-year dataset into 75% training and 25% testing
+(Section 5.1).  We provide the chronological split used by the main
+evaluation plus stratified and k-fold variants for the extended analyses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..incidents import Incident, IncidentStore
+
+
+@dataclass
+class SplitSummary:
+    """Descriptive statistics of a train/test split."""
+
+    train_size: int
+    test_size: int
+    train_categories: int
+    test_categories: int
+    unseen_test_categories: int
+
+    @property
+    def unseen_fraction(self) -> float:
+        """Fraction of test incidents whose category never appears in training."""
+        return 0.0 if self.test_size == 0 else self.unseen_test_categories / self.test_size
+
+
+def chronological_split(
+    store: IncidentStore, train_fraction: float = 0.75
+) -> Tuple[IncidentStore, IncidentStore]:
+    """The paper's split: first 75% of incidents by time train, rest test."""
+    return store.chronological_split(train_fraction)
+
+
+def random_split(
+    store: IncidentStore, train_fraction: float = 0.75, seed: int = 0
+) -> Tuple[IncidentStore, IncidentStore]:
+    """A shuffled split (used only for robustness analyses)."""
+    incidents = store.all()
+    rng = random.Random(seed)
+    rng.shuffle(incidents)
+    cut = int(round(len(incidents) * train_fraction))
+    cut = max(1, min(cut, len(incidents) - 1)) if len(incidents) >= 2 else cut
+    return IncidentStore(incidents[:cut]), IncidentStore(incidents[cut:])
+
+
+def stratified_split(
+    store: IncidentStore, train_fraction: float = 0.75, seed: int = 0
+) -> Tuple[IncidentStore, IncidentStore]:
+    """Per-category split keeping at least one example of each recurring
+    category in training when possible."""
+    rng = random.Random(seed)
+    train: List[Incident] = []
+    test: List[Incident] = []
+    by_category: Dict[str, List[Incident]] = {}
+    unlabelled: List[Incident] = []
+    for incident in store:
+        if incident.category:
+            by_category.setdefault(incident.category, []).append(incident)
+        else:
+            unlabelled.append(incident)
+    for incidents in by_category.values():
+        incidents = sorted(incidents, key=lambda i: i.created_at)
+        if len(incidents) == 1:
+            (test if rng.random() > train_fraction else train).append(incidents[0])
+            continue
+        cut = max(1, int(round(len(incidents) * train_fraction)))
+        train.extend(incidents[:cut])
+        test.extend(incidents[cut:])
+    for incident in unlabelled:
+        (train if rng.random() < train_fraction else test).append(incident)
+    return IncidentStore(sorted(train, key=lambda i: i.created_at)), IncidentStore(
+        sorted(test, key=lambda i: i.created_at)
+    )
+
+
+def kfold(
+    store: IncidentStore, folds: int = 4, seed: int = 0
+) -> Iterator[Tuple[IncidentStore, IncidentStore]]:
+    """Yield (train, test) stores for k chronologically shuffled folds."""
+    if folds < 2:
+        raise ValueError("folds must be >= 2")
+    incidents = store.all()
+    rng = random.Random(seed)
+    rng.shuffle(incidents)
+    fold_size = max(1, len(incidents) // folds)
+    for fold in range(folds):
+        start = fold * fold_size
+        end = len(incidents) if fold == folds - 1 else start + fold_size
+        test = incidents[start:end]
+        train = incidents[:start] + incidents[end:]
+        if not train or not test:
+            continue
+        yield (
+            IncidentStore(sorted(train, key=lambda i: i.created_at)),
+            IncidentStore(sorted(test, key=lambda i: i.created_at)),
+        )
+
+
+def summarize_split(train: IncidentStore, test: IncidentStore) -> SplitSummary:
+    """Describe a split: sizes, category coverage and unseen-category count."""
+    train_categories = set(train.categories())
+    test_categories = set(test.categories())
+    unseen = sum(
+        1
+        for incident in test
+        if incident.category and incident.category not in train_categories
+    )
+    return SplitSummary(
+        train_size=len(train),
+        test_size=len(test),
+        train_categories=len(train_categories),
+        test_categories=len(test_categories),
+        unseen_test_categories=unseen,
+    )

@@ -1,0 +1,33 @@
+"""Embedding substrate: text utilities, vocabulary, FastText and hashed embedders."""
+
+from .fasttext import (
+    FastTextClassifier,
+    FastTextClassifierConfig,
+    FastTextConfig,
+    FastTextEmbedder,
+)
+from .gptembed import HashedEmbedder
+from .text import (
+    character_ngrams,
+    jaccard_similarity,
+    ngram_hash,
+    sentences,
+    tokenize,
+    unique_preserving_order,
+)
+from .vocab import Vocabulary
+
+__all__ = [
+    "FastTextClassifier",
+    "FastTextClassifierConfig",
+    "FastTextConfig",
+    "FastTextEmbedder",
+    "HashedEmbedder",
+    "character_ngrams",
+    "jaccard_similarity",
+    "ngram_hash",
+    "sentences",
+    "tokenize",
+    "unique_preserving_order",
+    "Vocabulary",
+]

@@ -1,0 +1,82 @@
+"""Simulated "LLM" embedding model (the GPT-4 Embed. variant of Table 2).
+
+The paper's GPT-4 Embed. variant swaps the FastText embedding for an OpenAI
+embedding endpoint.  Offline, we substitute a deterministic hashed
+bag-of-words projection ("feature hashing"): every token contributes a
+pseudo-random but fixed direction in a high-dimensional space, documents are
+the TF-weighted sum.  Like a generic pre-trained embedding it captures
+surface lexical similarity without any domain adaptation to incident text —
+which is exactly the property the paper's ablation attributes its weaker
+retrieval quality to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .text import tokenize
+
+
+class HashedEmbedder:
+    """Deterministic hashed-projection document embedder.
+
+    Stateless (no training); the embedding of a token is derived from a
+    cryptographic hash of the token, so the model is identical across runs
+    and machines — standing in for a fixed pre-trained embedding service.
+    """
+
+    def __init__(self, dim: int = 256, seed: int = 0, max_token_length: int = 12) -> None:
+        """Create the embedder.
+
+        Args:
+            dim: Embedding dimensionality.
+            seed: Seed of the deterministic hash projection.
+            max_token_length: Tokens longer than this are dropped, modelling a
+                generic pre-trained embedding's poor handling of rare
+                domain-specific identifiers (long exception/class names fall
+                out of vocabulary and contribute little signal), which is the
+                weakness the paper's GPT-4 Embed. ablation exposes.
+        """
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.seed = seed
+        self.max_token_length = max_token_length
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def _token_vector(self, token: str) -> np.ndarray:
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256(f"{self.seed}:{token}".encode("utf-8")).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        vector = rng.standard_normal(self.dim)
+        vector /= np.linalg.norm(vector)
+        self._cache[token] = vector
+        return vector
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed a document as the L2-normalised TF-weighted token sum."""
+        tokens = [t for t in tokenize(text) if len(t) <= self.max_token_length]
+        if not tokens:
+            return np.zeros(self.dim)
+        counts: Dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        total = np.zeros(self.dim)
+        for token, count in counts.items():
+            # Sub-linear term frequency, as in common embedding pipelines.
+            total += (1.0 + np.log(count)) * self._token_vector(token)
+        norm = np.linalg.norm(total)
+        return total / norm if norm > 0 else total
+
+    def embed_many(self, texts: Iterable[str]) -> np.ndarray:
+        """Embeddings for many documents, stacked row-wise."""
+        return np.stack([self.embed(text) for text in texts])
+
+    def fit(self, documents: Optional[List[str]] = None) -> "HashedEmbedder":
+        """No-op fit so the embedder is interchangeable with FastTextEmbedder."""
+        return self

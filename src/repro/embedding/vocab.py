@@ -1,0 +1,90 @@
+"""Vocabulary with subword hashing for the FastText-style embedder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .text import character_ngrams, ngram_hash, tokenize
+
+
+@dataclass
+class Vocabulary:
+    """Word vocabulary plus hashed subword buckets.
+
+    Word ids occupy ``[0, len(words))``; subword n-grams hash into
+    ``[len(words), len(words) + buckets)``.  Out-of-vocabulary words are still
+    representable through their subwords — the property that lets FastText
+    embed incident text containing previously unseen identifiers.
+    """
+
+    min_count: int = 1
+    buckets: int = 20000
+    min_n: int = 3
+    max_n: int = 5
+    _word_to_id: Dict[str, int] = field(default_factory=dict)
+    _word_counts: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ build
+    def fit(self, documents: Iterable[str]) -> "Vocabulary":
+        """Build the word vocabulary from an iterable of documents."""
+        counts: Dict[str, int] = {}
+        for document in documents:
+            for token in tokenize(document):
+                counts[token] = counts.get(token, 0) + 1
+        self._word_counts = counts
+        self._word_to_id = {}
+        for word in sorted(counts):
+            if counts[word] >= self.min_count:
+                self._word_to_id[word] = len(self._word_to_id)
+        return self
+
+    # ------------------------------------------------------------------- size
+    @property
+    def num_words(self) -> int:
+        """Number of in-vocabulary words."""
+        return len(self._word_to_id)
+
+    @property
+    def num_vectors(self) -> int:
+        """Total number of embedding rows (words + subword buckets)."""
+        return self.num_words + self.buckets
+
+    def __len__(self) -> int:
+        return self.num_words
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    # ----------------------------------------------------------------- lookup
+    def word_id(self, word: str) -> Optional[int]:
+        """Id of an in-vocabulary word, else None."""
+        return self._word_to_id.get(word)
+
+    def word_count(self, word: str) -> int:
+        """Training-corpus count of a word (0 if unseen)."""
+        return self._word_counts.get(word, 0)
+
+    def words(self) -> List[str]:
+        """In-vocabulary words ordered by id."""
+        return sorted(self._word_to_id, key=lambda w: self._word_to_id[w])
+
+    def subword_ids(self, word: str) -> List[int]:
+        """Hashed subword row ids for a word (offset past the word rows)."""
+        return [
+            self.num_words + ngram_hash(gram, self.buckets)
+            for gram in character_ngrams(word, self.min_n, self.max_n)
+        ]
+
+    def indices(self, word: str) -> List[int]:
+        """All embedding rows representing a word: its id (if any) + subwords."""
+        rows: List[int] = []
+        word_id = self.word_id(word)
+        if word_id is not None:
+            rows.append(word_id)
+        rows.extend(self.subword_ids(word))
+        return rows
+
+    def encode(self, text: str) -> List[List[int]]:
+        """Token-wise row indices for a document."""
+        return [self.indices(token) for token in tokenize(text)]

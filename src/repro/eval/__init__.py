@@ -1,0 +1,71 @@
+"""Evaluation harness reproducing the paper's tables and figures."""
+
+from .deployment import (
+    DEFAULT_TEAM_PROFILES,
+    DeploymentReport,
+    DeploymentSimulator,
+    TeamProfile,
+    TeamUsageRow,
+    alert_type_coverage,
+)
+from .experiment import (
+    MethodResult,
+    RoundsResult,
+    TimingBreakdown,
+    evaluate_method,
+    evaluate_methods,
+    run_rounds,
+)
+from .figures import (
+    Figure2Result,
+    Figure3Result,
+    Figure12Result,
+    figure2_recurrence,
+    figure3_category_distribution,
+    figure12_k_alpha_sweep,
+)
+from .metrics import ClassScores, F1Report, confusion_counts, f1_report, top_confusions
+from .reporting import render_bar_chart, render_matrix, render_table
+from .tables import (
+    TABLE3_CONFIGURATIONS,
+    Table2Result,
+    Table3Result,
+    table1_scenarios,
+    table2_method_comparison,
+    table3_context_ablation,
+)
+
+__all__ = [
+    "DEFAULT_TEAM_PROFILES",
+    "DeploymentReport",
+    "DeploymentSimulator",
+    "TeamProfile",
+    "TeamUsageRow",
+    "alert_type_coverage",
+    "MethodResult",
+    "RoundsResult",
+    "TimingBreakdown",
+    "evaluate_method",
+    "evaluate_methods",
+    "run_rounds",
+    "Figure2Result",
+    "Figure3Result",
+    "Figure12Result",
+    "figure2_recurrence",
+    "figure3_category_distribution",
+    "figure12_k_alpha_sweep",
+    "ClassScores",
+    "F1Report",
+    "confusion_counts",
+    "f1_report",
+    "top_confusions",
+    "render_bar_chart",
+    "render_matrix",
+    "render_table",
+    "TABLE3_CONFIGURATIONS",
+    "Table2Result",
+    "Table3Result",
+    "table1_scenarios",
+    "table2_method_comparison",
+    "table3_context_ablation",
+]

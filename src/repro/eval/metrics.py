@@ -1,0 +1,119 @@
+"""Classification metrics used by the evaluation (micro/macro F1, Section 5.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class ClassScores:
+    """Per-class precision/recall/F1 with raw counts."""
+
+    label: str
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclass
+class F1Report:
+    """Micro and macro aggregated F1 with the per-class breakdown."""
+
+    micro_f1: float
+    macro_f1: float
+    accuracy: float
+    per_class: Dict[str, ClassScores]
+    support: int
+
+    def summary(self) -> str:
+        """One-line rendering of the headline numbers."""
+        return (
+            f"micro-F1={self.micro_f1:.3f} macro-F1={self.macro_f1:.3f} "
+            f"accuracy={self.accuracy:.3f} n={self.support}"
+        )
+
+
+def confusion_counts(
+    truths: Sequence[str], predictions: Sequence[str]
+) -> Dict[str, ClassScores]:
+    """Per-class TP/FP/FN counts over all labels appearing in truth or prediction."""
+    if len(truths) != len(predictions):
+        raise ValueError("truths and predictions must have equal length")
+    labels = sorted(set(truths) | set(predictions))
+    scores = {label: ClassScores(label, 0, 0, 0) for label in labels}
+    for truth, prediction in zip(truths, predictions):
+        if truth == prediction:
+            scores[truth].true_positives += 1
+        else:
+            scores[prediction].false_positives += 1
+            scores[truth].false_negatives += 1
+    return scores
+
+
+def f1_report(truths: Sequence[str], predictions: Sequence[str]) -> F1Report:
+    """Compute micro/macro F1 over single-label predictions.
+
+    Micro-F1 aggregates TP/FP/FN over all classes (and equals accuracy for
+    single-label classification); macro-F1 is the unweighted mean of
+    per-class F1, which exposes performance on the long tail.  Classes are
+    taken from the union of truth and prediction labels, matching how the
+    paper penalises predictions of non-existent categories.
+    """
+    if not truths:
+        return F1Report(0.0, 0.0, 0.0, {}, 0)
+    per_class = confusion_counts(truths, predictions)
+    tp = sum(s.true_positives for s in per_class.values())
+    fp = sum(s.false_positives for s in per_class.values())
+    fn = sum(s.false_negatives for s in per_class.values())
+    micro_precision = tp / (tp + fp) if (tp + fp) else 0.0
+    micro_recall = tp / (tp + fn) if (tp + fn) else 0.0
+    micro_f1 = (
+        2 * micro_precision * micro_recall / (micro_precision + micro_recall)
+        if (micro_precision + micro_recall)
+        else 0.0
+    )
+    # Macro-F1 averages over classes that actually occur in the ground truth,
+    # so predicting spurious new labels hurts micro (and per-class precision)
+    # without inflating the macro denominator.
+    truth_labels = sorted(set(truths))
+    macro_f1 = (
+        sum(per_class[label].f1 for label in truth_labels) / len(truth_labels)
+        if truth_labels
+        else 0.0
+    )
+    accuracy = sum(1 for t, p in zip(truths, predictions) if t == p) / len(truths)
+    return F1Report(
+        micro_f1=micro_f1,
+        macro_f1=macro_f1,
+        accuracy=accuracy,
+        per_class=per_class,
+        support=len(truths),
+    )
+
+
+def top_confusions(
+    truths: Sequence[str], predictions: Sequence[str], top: int = 10
+) -> List[Tuple[str, str, int]]:
+    """Most frequent (truth, prediction) confusion pairs."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for truth, prediction in zip(truths, predictions):
+        if truth != prediction:
+            counts[(truth, prediction)] = counts.get((truth, prediction), 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: -kv[1])[:top]
+    return [(truth, prediction, count) for (truth, prediction), count in ranked]

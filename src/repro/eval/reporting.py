@@ -1,0 +1,68 @@
+"""Plain-text rendering of reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match header width")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(separator)
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    series: Sequence[Tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render a horizontal ASCII bar chart (used for figure reproductions)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not series:
+        return "\n".join(lines + ["(no data)"])
+    max_value = max(value for _, value in series) or 1.0
+    label_width = max(len(str(label)) for label, _ in series)
+    for label, value in series:
+        bar = "#" * int(round(width * value / max_value)) if max_value > 0 else ""
+        lines.append(
+            f"{str(label).ljust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_matrix(
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    values: Dict[Tuple[str, str], float],
+    title: str = "",
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render a labelled matrix (used for the K x alpha sweep of Figure 12)."""
+    headers = [""] + [str(c) for c in column_labels]
+    rows = []
+    for row_label in row_labels:
+        row = [str(row_label)]
+        for column_label in column_labels:
+            value = values.get((str(row_label), str(column_label)))
+            row.append("-" if value is None else value_format.format(value))
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,352 @@
+"""Built-in incident handlers for the simulated Transport service.
+
+One handler per alert type in :data:`repro.monitors.alerting.ALERT_TYPES`.
+The ``DeliveryQueueBacklog`` handler mirrors the paper's Figure 5 workflow
+(determine issue type → known issue? → thread-stack grouping → top error →
+scope switch / engage team / restart); the others follow the same collect-
+then-recommend pattern with alert-type-specific probes and metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..monitors import AlertScope
+from .actions import ActionContext, MitigationAction, QueryAction, ScopeSwitchAction
+from .handler import HandlerBuilder, IncidentHandler, linear_handler
+from .registry import HandlerRegistry
+from .serialization import register_classifier
+
+
+@register_classifier("issue_type")
+def classify_issue_type(context: ActionContext, table: Dict[str, str]) -> str:
+    """Figure 5's "Determine Issue Type": busy hub vs busy delivery vs other."""
+    queue = float(table.get("delivery_queue_length", "0") or 0)
+    sockets = float(table.get("udp_socket_count", "0") or 0)
+    if sockets > 5000:
+        return "busy_hub"
+    if queue > 1000:
+        return "busy_delivery"
+    return "others"
+
+
+@register_classifier("known_issue")
+def classify_known_issue(context: ActionContext, table: Dict[str, str]) -> str:
+    """Figure 5's "Known Issue?": match the alert message against known signatures."""
+    known_signatures = ("exceeded the limit", "WinSock error", "disk", "poison")
+    message = context.incident.alert_message.lower()
+    if any(signature.lower() in message for signature in known_signatures):
+        return "true"
+    return "false"
+
+
+@register_classifier("top_error_kind")
+def classify_top_error(context: ActionContext, table: Dict[str, str]) -> str:
+    """Figure 5's "Get top Error Msg": branch on the dominant exception."""
+    top_error = table.get("top_error", "").lower()
+    if "mailboxofflineexception" in top_error or "recipient mailbox" in top_error:
+        return "mailbox_offline"
+    if "tenantsettings" in top_error:
+        return "tenant_config"
+    if "winsock" in top_error or "no such host" in top_error:
+        return "network"
+    return "default"
+
+
+@register_classifier("restarted_recently")
+def classify_restarted_recently(context: ActionContext, table: Dict[str, str]) -> str:
+    """Figure 5's "Delivery is Restarted Recently?"."""
+    restarts = int(table.get("count.service_restart", "0") or 0)
+    return "true" if restarts > 0 else "false"
+
+
+def delivery_backlog_handler() -> IncidentHandler:
+    """The Figure 5 handler: too many messages stuck in the delivery queue."""
+    builder = HandlerBuilder("DeliveryQueueBacklog", name="delivery-queue-backlog")
+    builder.add(
+        "determine_issue_type",
+        QueryAction(
+            "determine_issue_type",
+            source="metrics",
+            metric_names=["delivery_queue_length", "udp_socket_count"],
+            classify=classify_issue_type,
+        ),
+        {
+            "busy_hub": "switch_to_server",
+            "busy_delivery": "check_delivery_health",
+            "others": "known_issue",
+        },
+    )
+    builder.add(
+        "switch_to_server",
+        ScopeSwitchAction(
+            "switch_to_single_server", AlertScope.MACHINE, busiest_metric="udp_socket_count"
+        ),
+        {"default": "analyze_busy_server"},
+    )
+    builder.add(
+        "analyze_busy_server",
+        QueryAction("analyze_busy_server", source="probe:DatacenterHubOutboundProxyProbe"),
+        {"default": "collect_diagnose_logs"},
+    )
+    builder.add(
+        "check_delivery_health",
+        QueryAction("check_delivery_health", source="probe:MailboxDeliveryHealthProbe"),
+        {"default": "restarted_recently"},
+    )
+    builder.add(
+        "restarted_recently",
+        QueryAction("restarted_recently", source="events", classify=classify_restarted_recently),
+        {"true": "collect_diagnose_logs", "false": "restart_service"},
+    )
+    builder.add(
+        "restart_service",
+        MitigationAction("restart_service", "Restart the mailbox delivery service"),
+        {"default": "collect_diagnose_logs"},
+    )
+    builder.add(
+        "known_issue",
+        QueryAction("known_issue", source="error_logs", classify=classify_known_issue),
+        {"true": "mitigation_known", "false": "thread_stack_grouping"},
+    )
+    builder.add(
+        "mitigation_known",
+        MitigationAction(
+            "mitigation_known", "Apply the documented mitigation for this known issue"
+        ),
+        {"default": "collect_diagnose_logs"},
+    )
+    builder.add(
+        "thread_stack_grouping",
+        QueryAction("thread_stack_grouping", source="stack_grouping"),
+        {"default": "get_top_error"},
+    )
+    builder.add(
+        "get_top_error",
+        QueryAction("get_top_error", source="error_logs", classify=classify_top_error),
+        {
+            "mailbox_offline": "engage_store_team",
+            "tenant_config": "engage_tenant_team",
+            "network": "collect_diagnose_logs",
+            "default": "collect_diagnose_logs",
+        },
+    )
+    builder.add(
+        "engage_store_team",
+        MitigationAction(
+            "engage_store_team",
+            "Report to the mailbox store team",
+            engage_team="Store",
+        ),
+        {"default": "collect_diagnose_logs"},
+    )
+    builder.add(
+        "engage_tenant_team",
+        MitigationAction(
+            "engage_tenant_team",
+            "Engage the tenant configuration team",
+            engage_team="TenantConfig",
+        ),
+        {"default": "collect_diagnose_logs"},
+    )
+    builder.add(
+        "collect_diagnose_logs",
+        QueryAction("collect_diagnose_logs", source="events"),
+        {},
+    )
+    builder.root("determine_issue_type")
+    return builder.build()
+
+
+def outbound_proxy_handler() -> IncidentHandler:
+    """Handler for OutboundProxyConnectFailure (hub port exhaustion family)."""
+    return linear_handler(
+        "OutboundProxyConnectFailure",
+        "outbound-proxy-connect-failure",
+        [
+            ScopeSwitchAction("focus_machine", AlertScope.MACHINE, busiest_metric="udp_socket_count"),
+            QueryAction("proxy_probe", source="probe:DatacenterHubOutboundProxyProbe"),
+            QueryAction(
+                "socket_metrics",
+                source="metrics",
+                metric_names=["udp_socket_count", "concurrent_connections"],
+            ),
+            QueryAction("proxy_errors", source="error_logs", pattern="WinSock"),
+            MitigationAction(
+                "recycle_transport",
+                "Recycle Transport.exe on the affected machine to release UDP ports",
+            ),
+        ],
+    )
+
+
+def auth_token_handler() -> IncidentHandler:
+    """Handler for AuthTokenFailure (certificate / token issues)."""
+    return linear_handler(
+        "AuthTokenFailure",
+        "auth-token-failure",
+        [
+            QueryAction("cert_probe", source="probe:AuthCertificateProbe"),
+            QueryAction("auth_errors", source="error_logs", pattern="certificate"),
+            QueryAction("recent_changes", source="events"),
+            MitigationAction(
+                "rollback_cert",
+                "Roll back the certificate configuration to the last known good version",
+                engage_team="Security",
+            ),
+        ],
+    )
+
+
+def smtp_availability_handler() -> IncidentHandler:
+    """Handler for SmtpAvailabilityDrop (code regression family)."""
+    return linear_handler(
+        "SmtpAvailabilityDrop",
+        "smtp-availability-drop",
+        [
+            QueryAction(
+                "availability_metrics",
+                source="metrics",
+                metric_names=["smtp_auth_error_rate"],
+            ),
+            QueryAction("auth_component_errors", source="error_logs", pattern="Exception"),
+            QueryAction("recent_deployments", source="events"),
+            MitigationAction("rollback_deploy", "Roll back the most recent deployment"),
+        ],
+    )
+
+
+def connection_limit_handler() -> IncidentHandler:
+    """Handler for ConnectionLimitExceeded (bogus tenants / abuse family)."""
+    return linear_handler(
+        "ConnectionLimitExceeded",
+        "connection-limit-exceeded",
+        [
+            QueryAction(
+                "connection_metrics",
+                source="metrics",
+                metric_names=["concurrent_connections"],
+            ),
+            QueryAction("tenant_events", source="events"),
+            QueryAction("smtp_errors", source="error_logs", pattern="connections"),
+            MitigationAction(
+                "throttle_tenants",
+                "Block abusive tenants and throttle connector creation",
+                engage_team="AntiAbuse",
+            ),
+        ],
+    )
+
+
+def crash_spike_handler() -> IncidentHandler:
+    """Handler for ProcessCrashSpike (malicious attack / systemic crash family)."""
+    return linear_handler(
+        "ProcessCrashSpike",
+        "process-crash-spike",
+        [
+            QueryAction("crash_events", source="events"),
+            QueryAction("crash_errors", source="error_logs", pattern="Exception"),
+            QueryAction("stack_grouping", source="stack_grouping"),
+            QueryAction("trace_impact", source="traces"),
+            MitigationAction(
+                "isolate_and_engage",
+                "Isolate affected machines and engage the security team",
+                engage_team="Security",
+            ),
+        ],
+    )
+
+
+def poison_message_handler() -> IncidentHandler:
+    """Handler for PoisonMessageDetected (the Figure 1 TSG scenario)."""
+    return linear_handler(
+        "PoisonMessageDetected",
+        "poison-message",
+        [
+            QueryAction("poison_errors", source="error_logs", pattern="poison"),
+            QueryAction("config_events", source="events"),
+            QueryAction("routing_metrics", source="metrics"),
+            MitigationAction(
+                "purge_poison",
+                "Purge poisoned messages and restart the configuration service",
+            ),
+        ],
+    )
+
+
+def disk_space_handler() -> IncidentHandler:
+    """Handler for DiskSpaceLow (full disk family)."""
+    return linear_handler(
+        "DiskSpaceLow",
+        "disk-space-low",
+        [
+            QueryAction("disk_probe", source="probe:DiskSpaceProbe"),
+            QueryAction("disk_metrics", source="metrics", metric_names=["disk_usage_percent"]),
+            QueryAction("io_errors", source="error_logs", pattern="IOException"),
+            QueryAction("crash_events", source="events"),
+            MitigationAction(
+                "free_space", "Free disk space or fail the role over to a healthy machine"
+            ),
+        ],
+    )
+
+
+def submission_queue_handler() -> IncidentHandler:
+    """Handler for SubmissionQueueStuck (invalid tenant config family)."""
+    return linear_handler(
+        "SubmissionQueueStuck",
+        "submission-queue-stuck",
+        [
+            QueryAction(
+                "queue_metrics",
+                source="metrics",
+                metric_names=["submission_queue_age_seconds"],
+            ),
+            QueryAction("tenant_errors", source="error_logs", pattern="TenantSettings"),
+            QueryAction("config_events", source="events"),
+            MitigationAction(
+                "fix_tenant_config", "Correct the tenant Transport configuration value"
+            ),
+        ],
+    )
+
+
+def priority_queue_handler() -> IncidentHandler:
+    """Handler for PriorityQueueDelay (dispatcher / auth reachability family)."""
+    return linear_handler(
+        "PriorityQueueDelay",
+        "priority-queue-delay",
+        [
+            QueryAction(
+                "priority_metrics",
+                source="metrics",
+                metric_names=["normal_priority_queue_age_seconds"],
+            ),
+            QueryAction("dispatcher_errors", source="error_logs", pattern="TaskCanceled"),
+            QueryAction("auth_traces", source="traces"),
+            MitigationAction(
+                "restore_auth_connectivity",
+                "Restore network connectivity to the authentication service",
+                engage_team="Networking",
+            ),
+        ],
+    )
+
+
+def default_registry(team: str = "Transport") -> HandlerRegistry:
+    """Build a registry containing a handler for every built-in alert type."""
+    registry = HandlerRegistry()
+    for handler in (
+        outbound_proxy_handler(),
+        delivery_backlog_handler(),
+        auth_token_handler(),
+        smtp_availability_handler(),
+        connection_limit_handler(),
+        crash_spike_handler(),
+        poison_message_handler(),
+        disk_space_handler(),
+        submission_queue_handler(),
+        priority_queue_handler(),
+    ):
+        registry.register(handler, team=team, change_note="initial import")
+    return registry

@@ -1,0 +1,127 @@
+"""Handler execution engine: the diagnostic information collection stage.
+
+Walks a handler's decision tree for one incident, executing each action
+against the telemetry hub, accumulating diagnostic sections, action outputs,
+and mitigation suggestions.  The result is written back onto the incident so
+the prediction stage (and OCEs) can consume it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..incidents import DiagnosticReport, Incident
+from ..telemetry import TelemetryHub
+from .actions import ActionContext, ActionResult
+from .handler import IncidentHandler
+
+
+class HandlerExecutionError(RuntimeError):
+    """Raised when handler execution exceeds its step bound or hits a bad node."""
+
+
+@dataclass
+class StepTrace:
+    """Record of one executed action node (for audit and debugging)."""
+
+    node_id: str
+    action_name: str
+    outcome: str
+    elapsed_seconds: float
+
+
+@dataclass
+class ExecutionResult:
+    """Everything the collection stage produced for one incident."""
+
+    incident_id: str
+    handler_name: str
+    handler_version: int
+    report: DiagnosticReport = field(default_factory=DiagnosticReport)
+    action_output: Dict[str, str] = field(default_factory=dict)
+    mitigations: List[str] = field(default_factory=list)
+    steps: List[StepTrace] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def step_count(self) -> int:
+        """Number of action nodes executed."""
+        return len(self.steps)
+
+
+class HandlerExecutor:
+    """Executes incident handlers over a telemetry hub."""
+
+    def __init__(self, hub: TelemetryHub, lookback_seconds: float = 3600.0) -> None:
+        self.hub = hub
+        self.lookback_seconds = lookback_seconds
+
+    def execute(
+        self, handler: IncidentHandler, incident: Incident,
+        attach_to_incident: bool = True,
+    ) -> ExecutionResult:
+        """Run a handler for an incident.
+
+        Args:
+            handler: The matched incident handler.
+            incident: The incident being diagnosed.
+            attach_to_incident: When True (default) the collected report and
+                action outputs are written onto the incident object.
+
+        Returns:
+            The :class:`ExecutionResult` with the diagnostic report, hashed
+            action outputs, suggested mitigations, and a step trace.
+
+        Raises:
+            HandlerExecutionError: If execution exceeds ``handler.max_steps``.
+        """
+        started = time.perf_counter()
+        context = ActionContext.for_incident(
+            incident, self.hub, lookback=self.lookback_seconds
+        )
+        result = ExecutionResult(
+            incident_id=incident.incident_id,
+            handler_name=handler.name,
+            handler_version=handler.version,
+        )
+        node_id: Optional[str] = handler.root
+        steps = 0
+        while node_id is not None:
+            if steps >= handler.max_steps:
+                raise HandlerExecutionError(
+                    f"handler {handler.name!r} exceeded {handler.max_steps} steps "
+                    f"on incident {incident.incident_id}"
+                )
+            node = handler.nodes.get(node_id)
+            if node is None:
+                raise HandlerExecutionError(
+                    f"handler {handler.name!r} references unknown node {node_id!r}"
+                )
+            step_started = time.perf_counter()
+            action_result = node.action.execute(context)
+            self._accumulate(result, action_result)
+            result.steps.append(
+                StepTrace(
+                    node_id=node_id,
+                    action_name=node.action.name,
+                    outcome=action_result.outcome,
+                    elapsed_seconds=time.perf_counter() - step_started,
+                )
+            )
+            node_id = node.next_node(action_result.outcome)
+            steps += 1
+        result.elapsed_seconds = time.perf_counter() - started
+        if attach_to_incident:
+            incident.diagnostic = result.report
+            incident.action_output = dict(result.action_output)
+        return result
+
+    @staticmethod
+    def _accumulate(result: ExecutionResult, action_result: ActionResult) -> None:
+        for section in action_result.sections:
+            result.report.sections.append(section)
+        result.action_output.update(action_result.output)
+        if action_result.mitigation:
+            result.mitigations.append(action_result.mitigation)

@@ -1,0 +1,201 @@
+"""Incident handler: a decision-tree workflow of actions.
+
+"The decision-making process that OCEs employ when handling an incident
+resembles a decision tree's control flow" (Section 4.1.1).  A handler is a
+directed graph of action nodes rooted at the incident alert type; each node's
+edges are keyed by the action's outcome label, with a ``default`` edge taken
+when no key matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from .actions import DEFAULT_OUTCOME, Action
+
+
+class HandlerValidationError(ValueError):
+    """Raised when a handler graph is malformed (unknown edges, cycles...)."""
+
+
+@dataclass
+class HandlerNode:
+    """One node of the handler graph: an action plus outcome-keyed edges."""
+
+    node_id: str
+    action: Action
+    edges: Dict[str, str] = field(default_factory=dict)
+
+    def next_node(self, outcome: str) -> Optional[str]:
+        """Follow the edge for an outcome (falling back to the default edge)."""
+        if outcome in self.edges:
+            return self.edges[outcome]
+        return self.edges.get(DEFAULT_OUTCOME)
+
+
+@dataclass
+class IncidentHandler:
+    """A versioned decision-tree workflow keyed by alert type.
+
+    Attributes:
+        alert_type: Alert type this handler serves (the matching key).
+        name: Human-readable handler name.
+        root: Node id where execution starts.
+        nodes: All nodes keyed by node id.
+        version: Monotonic version number maintained by the registry.
+        author: Who last edited the handler.
+        max_steps: Safety bound on execution length.
+    """
+
+    alert_type: str
+    name: str
+    root: str
+    nodes: Dict[str, HandlerNode] = field(default_factory=dict)
+    version: int = 1
+    author: str = "oce"
+    max_steps: int = 50
+
+    # ----------------------------------------------------------------- checks
+    def validate(self) -> None:
+        """Validate the graph: edges resolve, root exists, no cycles.
+
+        Raises:
+            HandlerValidationError: On a malformed graph.
+        """
+        if self.root not in self.nodes:
+            raise HandlerValidationError(
+                f"handler {self.name!r}: root node {self.root!r} does not exist"
+            )
+        for node in self.nodes.values():
+            for outcome, target in node.edges.items():
+                if target not in self.nodes:
+                    raise HandlerValidationError(
+                        f"handler {self.name!r}: node {node.node_id!r} edge "
+                        f"{outcome!r} points at unknown node {target!r}"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        """Reject cycles so execution always terminates."""
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node_id: str, stack: List[str]) -> None:
+            if state.get(node_id) == 1:
+                return
+            if state.get(node_id) == 0:
+                raise HandlerValidationError(
+                    f"handler {self.name!r}: cycle detected involving "
+                    f"{' -> '.join(stack + [node_id])}"
+                )
+            state[node_id] = 0
+            for target in self.nodes[node_id].edges.values():
+                visit(target, stack + [node_id])
+            state[node_id] = 1
+
+        visit(self.root, [])
+
+    def reachable_nodes(self) -> Set[str]:
+        """Node ids reachable from the root."""
+        seen: Set[str] = set()
+        frontier = [self.root]
+        while frontier:
+            node_id = frontier.pop()
+            if node_id in seen or node_id not in self.nodes:
+                continue
+            seen.add(node_id)
+            frontier.extend(self.nodes[node_id].edges.values())
+        return seen
+
+    def action_names(self) -> List[str]:
+        """Names of all actions in the handler (for reuse statistics)."""
+        return [node.action.name for node in self.nodes.values()]
+
+    def describe(self) -> str:
+        """Multi-line description of the handler graph (authoring aid)."""
+        lines = [
+            f"handler {self.name!r} v{self.version} for alert type {self.alert_type!r}",
+            f"root: {self.root}",
+        ]
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            edges = ", ".join(f"{k}->{v}" for k, v in sorted(node.edges.items())) or "(leaf)"
+            lines.append(f"  {node_id}: {node.action.describe()} [{edges}]")
+        return "\n".join(lines)
+
+
+class HandlerBuilder:
+    """Fluent builder for incident handlers (the programmatic 'GUI').
+
+    Example::
+
+        handler = (
+            HandlerBuilder("DeliveryQueueBacklog", name="delivery-backlog")
+            .add("determine", QueryAction(...), {"busy_hub": "switch", "default": "known"})
+            .add("switch", ScopeSwitchAction(...), {"default": "analyze"})
+            ...
+            .root("determine")
+            .build()
+        )
+    """
+
+    def __init__(self, alert_type: str, name: str, author: str = "oce") -> None:
+        self._alert_type = alert_type
+        self._name = name
+        self._author = author
+        self._nodes: Dict[str, HandlerNode] = {}
+        self._root: Optional[str] = None
+
+    def add(
+        self,
+        node_id: str,
+        action: Action,
+        edges: Optional[Dict[str, str]] = None,
+    ) -> "HandlerBuilder":
+        """Add a node; the first added node becomes the root unless overridden."""
+        if node_id in self._nodes:
+            raise HandlerValidationError(f"duplicate node id: {node_id!r}")
+        self._nodes[node_id] = HandlerNode(node_id=node_id, action=action, edges=dict(edges or {}))
+        if self._root is None:
+            self._root = node_id
+        return self
+
+    def root(self, node_id: str) -> "HandlerBuilder":
+        """Explicitly set the root node."""
+        self._root = node_id
+        return self
+
+    def build(self) -> IncidentHandler:
+        """Validate and return the handler."""
+        if self._root is None:
+            raise HandlerValidationError("handler has no nodes")
+        handler = IncidentHandler(
+            alert_type=self._alert_type,
+            name=self._name,
+            root=self._root,
+            nodes=self._nodes,
+            author=self._author,
+        )
+        handler.validate()
+        return handler
+
+
+def linear_handler(
+    alert_type: str, name: str, actions: Iterable[Action], author: str = "oce"
+) -> IncidentHandler:
+    """Build a handler that simply runs ``actions`` in sequence.
+
+    Useful for quick authoring and for the common "collect everything then
+    decide" pattern.
+    """
+    builder = HandlerBuilder(alert_type, name, author=author)
+    actions = list(actions)
+    if not actions:
+        raise HandlerValidationError("linear handler needs at least one action")
+    for index, action in enumerate(actions):
+        node_id = f"step-{index + 1:02d}"
+        edges = {}
+        if index + 1 < len(actions):
+            edges[DEFAULT_OUTCOME] = f"step-{index + 2:02d}"
+        builder.add(node_id, action, edges)
+    return builder.build()

@@ -1,0 +1,40 @@
+"""Incident data model, store, life-cycle and recurrence analysis."""
+
+from .lifecycle import IncidentLifecycle, IncidentStage, LifecycleError, StageRecord
+from .models import (
+    SECONDS_PER_DAY,
+    DiagnosticReport,
+    DiagnosticSection,
+    Incident,
+    RootCauseCategory,
+    Severity,
+)
+from .recurrence import (
+    RecurrenceStats,
+    category_occurrence_histogram,
+    compute_recurrence_stats,
+    incidents_in_new_categories,
+    interval_histogram,
+    recurrence_intervals_days,
+)
+from .store import IncidentStore
+
+__all__ = [
+    "IncidentLifecycle",
+    "IncidentStage",
+    "LifecycleError",
+    "StageRecord",
+    "SECONDS_PER_DAY",
+    "DiagnosticReport",
+    "DiagnosticSection",
+    "Incident",
+    "RootCauseCategory",
+    "Severity",
+    "RecurrenceStats",
+    "category_occurrence_histogram",
+    "compute_recurrence_stats",
+    "incidents_in_new_categories",
+    "interval_histogram",
+    "recurrence_intervals_days",
+    "IncidentStore",
+]

@@ -1,0 +1,127 @@
+"""Incident life-cycle state machine.
+
+The paper describes a four-stage life-cycle — detection, triaging, diagnosis,
+mitigation (Section 1).  RCACopilot's two stages live inside diagnosis; the
+state machine here lets the on-call system track where each incident is and
+record stage timings (used by the deployment simulation for Table 4 and by
+the on-call triage example).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class IncidentStage(str, Enum):
+    """Stages of the incident life-cycle."""
+
+    DETECTED = "detected"
+    TRIAGED = "triaged"
+    DIAGNOSING = "diagnosing"
+    MITIGATING = "mitigating"
+    RESOLVED = "resolved"
+
+
+#: Legal transitions of the life-cycle state machine.
+_TRANSITIONS: Dict[IncidentStage, List[IncidentStage]] = {
+    IncidentStage.DETECTED: [IncidentStage.TRIAGED],
+    IncidentStage.TRIAGED: [IncidentStage.DIAGNOSING],
+    IncidentStage.DIAGNOSING: [IncidentStage.MITIGATING, IncidentStage.RESOLVED],
+    IncidentStage.MITIGATING: [IncidentStage.RESOLVED, IncidentStage.DIAGNOSING],
+    IncidentStage.RESOLVED: [],
+}
+
+
+class LifecycleError(RuntimeError):
+    """Raised on an illegal life-cycle transition."""
+
+
+@dataclass
+class StageRecord:
+    """One stage the incident passed through, with entry time and note."""
+
+    stage: IncidentStage
+    entered_at: float
+    note: str = ""
+
+
+@dataclass
+class IncidentLifecycle:
+    """Tracks the life-cycle of a single incident.
+
+    Times are simulation seconds by default; ``use_wallclock=True`` switches
+    to real time for the deployment simulation.
+    """
+
+    incident_id: str
+    use_wallclock: bool = False
+    history: List[StageRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.history:
+            self.history.append(
+                StageRecord(stage=IncidentStage.DETECTED, entered_at=self._now(0.0))
+            )
+
+    def _now(self, at: Optional[float]) -> float:
+        if at is not None:
+            return at
+        return time.monotonic() if self.use_wallclock else 0.0
+
+    @property
+    def stage(self) -> IncidentStage:
+        """Current stage."""
+        return self.history[-1].stage
+
+    @property
+    def is_resolved(self) -> bool:
+        """True once the incident reached the resolved stage."""
+        return self.stage is IncidentStage.RESOLVED
+
+    def advance(
+        self, stage: IncidentStage, at: Optional[float] = None, note: str = ""
+    ) -> None:
+        """Advance to a new stage, enforcing legal transitions."""
+        if stage not in _TRANSITIONS[self.stage]:
+            raise LifecycleError(
+                f"illegal transition {self.stage.value} -> {stage.value} "
+                f"for incident {self.incident_id}"
+            )
+        entered = self._now(at)
+        if self.history and at is not None and entered < self.history[-1].entered_at:
+            raise LifecycleError(
+                f"stage time moves backwards for incident {self.incident_id}"
+            )
+        self.history.append(StageRecord(stage=stage, entered_at=entered, note=note))
+
+    def triage(self, at: Optional[float] = None, team: str = "") -> None:
+        """Record triage (assignment to a team)."""
+        self.advance(IncidentStage.TRIAGED, at=at, note=f"assigned to {team}" if team else "")
+
+    def start_diagnosis(self, at: Optional[float] = None) -> None:
+        """Record the start of diagnosis (RCACopilot collection stage)."""
+        self.advance(IncidentStage.DIAGNOSING, at=at)
+
+    def start_mitigation(self, at: Optional[float] = None, action: str = "") -> None:
+        """Record the start of mitigation."""
+        self.advance(IncidentStage.MITIGATING, at=at, note=action)
+
+    def resolve(self, at: Optional[float] = None, note: str = "") -> None:
+        """Record resolution."""
+        self.advance(IncidentStage.RESOLVED, at=at, note=note)
+
+    def duration(self, stage: IncidentStage) -> Optional[float]:
+        """Time spent in a stage, or None if the stage was never exited."""
+        for index, record in enumerate(self.history):
+            if record.stage is stage and index + 1 < len(self.history):
+                return self.history[index + 1].entered_at - record.entered_at
+        return None
+
+    def time_to_resolve(self) -> Optional[float]:
+        """Total time from detection to resolution, if resolved."""
+        if not self.is_resolved:
+            return None
+        return self.history[-1].entered_at - self.history[0].entered_at

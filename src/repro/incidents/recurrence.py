@@ -1,0 +1,130 @@
+"""Recurrence and category-frequency analysis of an incident corpus.
+
+Implements the measurements behind the paper's Insight 2 and Insight 3:
+
+* Figure 2 — the distribution of time intervals between recurrences of the
+  same root-cause category (93.80% of recurrences within 20 days).
+* Figure 3 — the histogram of category occurrence counts, whose long tail
+  includes the 24.96% of incidents that belong to a new (first-occurrence)
+  category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .models import SECONDS_PER_DAY, Incident
+
+
+@dataclass
+class RecurrenceStats:
+    """Summary statistics of recurrence behaviour in a corpus."""
+
+    total_incidents: int
+    recurring_incidents: int
+    new_category_incidents: int
+    intervals_days: List[float]
+    fraction_within_20_days: float
+
+    @property
+    def new_category_fraction(self) -> float:
+        """Fraction of incidents that are the first of their category."""
+        if self.total_incidents == 0:
+            return 0.0
+        return self.new_category_incidents / self.total_incidents
+
+
+def recurrence_intervals_days(incidents: Iterable[Incident]) -> List[float]:
+    """Time gaps (days) between consecutive incidents of the same category.
+
+    Only labelled incidents participate.  The result is what Figure 2
+    histograms.
+    """
+    by_category: Dict[str, List[float]] = {}
+    for incident in incidents:
+        if incident.category:
+            by_category.setdefault(incident.category, []).append(incident.created_at)
+    intervals: List[float] = []
+    for timestamps in by_category.values():
+        timestamps.sort()
+        for previous, current in zip(timestamps, timestamps[1:]):
+            intervals.append((current - previous) / SECONDS_PER_DAY)
+    return intervals
+
+
+def compute_recurrence_stats(incidents: Sequence[Incident]) -> RecurrenceStats:
+    """Compute the Insight 2 / Insight 3 statistics for a corpus."""
+    labelled = [i for i in incidents if i.category]
+    intervals = recurrence_intervals_days(labelled)
+    seen: set = set()
+    new_count = 0
+    recurring = 0
+    for incident in sorted(labelled, key=lambda i: i.created_at):
+        if incident.category in seen:
+            recurring += 1
+        else:
+            new_count += 1
+            seen.add(incident.category)
+    within_20 = sum(1 for interval in intervals if interval <= 20.0)
+    fraction = within_20 / len(intervals) if intervals else 0.0
+    return RecurrenceStats(
+        total_incidents=len(labelled),
+        recurring_incidents=recurring,
+        new_category_incidents=new_count,
+        intervals_days=intervals,
+        fraction_within_20_days=fraction,
+    )
+
+
+def interval_histogram(
+    intervals_days: Sequence[float], bin_days: float = 5.0, max_days: float = 120.0
+) -> List[Tuple[float, float]]:
+    """Histogram of recurrence intervals as (bin start, probability) pairs.
+
+    This is the series plotted in Figure 2: the probability that a recurrence
+    falls inside each ``bin_days``-wide interval bucket up to ``max_days``.
+    """
+    if bin_days <= 0:
+        raise ValueError("bin_days must be positive")
+    bins: List[Tuple[float, float]] = []
+    total = len(intervals_days)
+    start = 0.0
+    while start < max_days:
+        end = start + bin_days
+        count = sum(1 for v in intervals_days if start <= v < end)
+        probability = count / total if total else 0.0
+        bins.append((start, probability))
+        start = end
+    return bins
+
+
+def category_occurrence_histogram(
+    incidents: Iterable[Incident], cap: int = 10
+) -> Dict[str, int]:
+    """Histogram of "how many categories occurred N times" (Figure 3).
+
+    Categories occurring ``cap`` times or more are pooled into the ``>=cap``
+    bucket, matching the paper's x-axis (1, 2, ..., 9, >=10).
+    """
+    counts: Dict[str, int] = {}
+    for incident in incidents:
+        if incident.category:
+            counts[incident.category] = counts.get(incident.category, 0) + 1
+    histogram: Dict[str, int] = {str(i): 0 for i in range(1, cap)}
+    histogram[f">={cap}"] = 0
+    for occurrence in counts.values():
+        key = str(occurrence) if occurrence < cap else f">={cap}"
+        histogram[key] += 1
+    return histogram
+
+
+def incidents_in_new_categories(incidents: Sequence[Incident]) -> List[Incident]:
+    """Incidents that are the first occurrence of their category (Insight 3)."""
+    seen: set = set()
+    firsts: List[Incident] = []
+    for incident in sorted(incidents, key=lambda i: i.created_at):
+        if incident.category and incident.category not in seen:
+            seen.add(incident.category)
+            firsts.append(incident)
+    return firsts

@@ -1,0 +1,138 @@
+"""Indexed in-memory incident store.
+
+The prediction stage needs fast access to historical incidents by category,
+alert type, and time (for the temporal-decay nearest-neighbour search), and
+the evaluation needs chronological train/test splits.  This store is the
+"DB" box of the paper's Figure 4 architecture.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .models import Incident
+
+
+class IncidentStore:
+    """A store of incidents with category / alert-type / time indices."""
+
+    def __init__(self, incidents: Optional[Iterable[Incident]] = None) -> None:
+        self._by_id: Dict[str, Incident] = {}
+        self._order: List[Tuple[float, str]] = []  # (created_at, incident_id), sorted
+        self._by_category: Dict[str, List[str]] = {}
+        self._by_alert_type: Dict[str, List[str]] = {}
+        if incidents:
+            self.extend(incidents)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Incident]:
+        for _, incident_id in self._order:
+            yield self._by_id[incident_id]
+
+    def __contains__(self, incident_id: str) -> bool:
+        return incident_id in self._by_id
+
+    # ------------------------------------------------------------------ write
+    def add(self, incident: Incident) -> None:
+        """Add an incident; ids must be unique."""
+        if incident.incident_id in self._by_id:
+            raise ValueError(f"duplicate incident id: {incident.incident_id}")
+        self._by_id[incident.incident_id] = incident
+        bisect.insort(self._order, (incident.created_at, incident.incident_id))
+        if incident.category:
+            self._by_category.setdefault(incident.category, []).append(
+                incident.incident_id
+            )
+        self._by_alert_type.setdefault(incident.alert_type, []).append(
+            incident.incident_id
+        )
+
+    def extend(self, incidents: Iterable[Incident]) -> None:
+        """Add many incidents."""
+        for incident in incidents:
+            self.add(incident)
+
+    def relabel(self, incident_id: str, category: str) -> None:
+        """Assign (or change) the ground-truth category of an incident.
+
+        Mirrors the on-call engineers' post-investigation labelling step.
+        """
+        incident = self._by_id.get(incident_id)
+        if incident is None:
+            raise KeyError(f"unknown incident id: {incident_id}")
+        if incident.category:
+            previous = self._by_category.get(incident.category, [])
+            if incident_id in previous:
+                previous.remove(incident_id)
+        incident.category = category
+        self._by_category.setdefault(category, []).append(incident_id)
+
+    # ------------------------------------------------------------------- read
+    def get(self, incident_id: str) -> Optional[Incident]:
+        """Fetch an incident by id."""
+        return self._by_id.get(incident_id)
+
+    def all(self) -> List[Incident]:
+        """All incidents in chronological order."""
+        return list(iter(self))
+
+    def categories(self) -> List[str]:
+        """Distinct ground-truth categories present (sorted)."""
+        return sorted(c for c, ids in self._by_category.items() if ids)
+
+    def alert_types(self) -> List[str]:
+        """Distinct alert types present (sorted)."""
+        return sorted(self._by_alert_type)
+
+    def by_category(self, category: str) -> List[Incident]:
+        """All incidents labelled with a category, chronological."""
+        ids = set(self._by_category.get(category, []))
+        return [i for i in self if i.incident_id in ids]
+
+    def by_alert_type(self, alert_type: str) -> List[Incident]:
+        """All incidents with an alert type, chronological."""
+        ids = set(self._by_alert_type.get(alert_type, []))
+        return [i for i in self if i.incident_id in ids]
+
+    def between(self, start: float, end: float) -> List[Incident]:
+        """Incidents created inside the inclusive window [start, end]."""
+        lo = bisect.bisect_left(self._order, (start, ""))
+        hi = bisect.bisect_right(self._order, (end, "￿"))
+        return [self._by_id[incident_id] for _, incident_id in self._order[lo:hi]]
+
+    def before(self, timestamp: float) -> List[Incident]:
+        """Incidents created strictly before a timestamp (the "history")."""
+        lo = bisect.bisect_left(self._order, (timestamp, ""))
+        return [self._by_id[incident_id] for _, incident_id in self._order[:lo]]
+
+    def category_counts(self) -> Dict[str, int]:
+        """Number of labelled incidents per category."""
+        return {
+            category: len(ids)
+            for category, ids in self._by_category.items()
+            if ids
+        }
+
+    # ------------------------------------------------------------------ splits
+    def chronological_split(
+        self, train_fraction: float = 0.75
+    ) -> Tuple["IncidentStore", "IncidentStore"]:
+        """Split into (train, test) stores by time, matching the paper's 75/25.
+
+        A chronological split (not a random shuffle) preserves the property
+        the similarity formula exploits: test incidents may have very recent
+        training neighbours.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        ordered = self.all()
+        cut = int(round(len(ordered) * train_fraction))
+        cut = max(1, min(cut, len(ordered) - 1)) if len(ordered) >= 2 else cut
+        return IncidentStore(ordered[:cut]), IncidentStore(ordered[cut:])
+
+    def labelled(self) -> List[Incident]:
+        """Incidents with a ground-truth category."""
+        return [incident for incident in self if incident.is_labelled()]

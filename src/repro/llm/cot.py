@@ -1,0 +1,93 @@
+"""Few-shot chain-of-thought root-cause prediction (Section 4.2.4).
+
+Wraps the prediction prompt construction, model call, and completion parsing
+into one predictor: given the incoming incident's (summarized) diagnostic
+text and the retrieved neighbour demonstrations, it returns the predicted
+category, whether the incident is unseen, a possibly newly generated label,
+and the model's explanation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .model import ChatMessage, ChatModel
+from .prompts import (
+    Demonstration,
+    ParsedPrediction,
+    build_direct_prediction_prompt,
+    build_prediction_prompt,
+    parse_direct_prediction,
+    parse_prediction,
+)
+
+
+@dataclass
+class CategoryPrediction:
+    """The prediction stage's final output for one incident."""
+
+    category: Optional[str]
+    is_unseen: bool
+    new_category: Optional[str]
+    explanation: str
+    chosen_letter: str
+    demonstrations: List[Demonstration]
+
+    @property
+    def label(self) -> str:
+        """The label reported to OCEs: a known category or the new one."""
+        if self.category:
+            return self.category
+        if self.new_category:
+            return self.new_category
+        return "Unseen"
+
+
+class ChainOfThoughtPredictor:
+    """Few-shot CoT predictor over retrieved demonstrations."""
+
+    def __init__(self, model: ChatModel, temperature: float = 0.0) -> None:
+        self.model = model
+        self.temperature = temperature
+
+    def predict(
+        self, incident_text: str, demonstrations: Sequence[Demonstration]
+    ) -> CategoryPrediction:
+        """Predict the category of an incident from its neighbours.
+
+        With an empty demonstration list the predictor degenerates to the
+        direct (zero-shot) prompt — the GPT-4 Prompt variant of Table 2.
+        """
+        if not demonstrations:
+            return self.predict_direct(incident_text)
+        prompt = build_prediction_prompt(incident_text, demonstrations)
+        completion = self.model.complete(
+            [ChatMessage(role="user", content=prompt.text)],
+            temperature=self.temperature,
+        )
+        parsed: ParsedPrediction = parse_prediction(completion.text, prompt)
+        return CategoryPrediction(
+            category=parsed.category,
+            is_unseen=parsed.is_unseen,
+            new_category=parsed.new_category,
+            explanation=parsed.explanation,
+            chosen_letter=parsed.letter,
+            demonstrations=list(demonstrations),
+        )
+
+    def predict_direct(self, incident_text: str) -> CategoryPrediction:
+        """Zero-shot prediction without demonstrations (baseline variant)."""
+        prompt = build_direct_prediction_prompt(incident_text)
+        completion = self.model.complete(
+            [ChatMessage(role="user", content=prompt)], temperature=self.temperature
+        )
+        category, explanation = parse_direct_prediction(completion.text)
+        return CategoryPrediction(
+            category=category,
+            is_unseen=category is None,
+            new_category=category,
+            explanation=explanation,
+            chosen_letter="-",
+            demonstrations=[],
+        )

@@ -1,0 +1,83 @@
+"""Diagnostic information summarization (Section 4.2.3).
+
+Raw diagnostic reports often exceed 2000 tokens; the paper adds an LLM
+summarization layer that compresses them to 120-140 words before prompting.
+:class:`DiagnosticSummarizer` drives any :class:`ChatModel` through the
+Figure 7 prompt and enforces the word budget on the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .model import ChatMessage, ChatModel
+from .prompts import build_summarization_prompt
+from .tokenizer import DEFAULT_TOKENIZER
+
+
+@dataclass
+class SummaryResult:
+    """A produced summary with size accounting."""
+
+    text: str
+    input_tokens: int
+    summary_tokens: int
+    word_count: int
+
+
+class DiagnosticSummarizer:
+    """Summarizes diagnostic reports with an LLM, enforcing the word budget."""
+
+    def __init__(
+        self,
+        model: ChatModel,
+        min_words: int = 120,
+        max_words: int = 140,
+    ) -> None:
+        if min_words <= 0 or max_words < min_words:
+            raise ValueError("require 0 < min_words <= max_words")
+        self.model = model
+        self.min_words = min_words
+        self.max_words = max_words
+
+    def summarize(self, diagnostic_text: str) -> SummaryResult:
+        """Summarize one incident's diagnostic information.
+
+        Very short inputs (already below the budget) are passed through
+        unchanged — there is nothing to compress and an LLM call would only
+        add latency and noise.
+        """
+        input_tokens = DEFAULT_TOKENIZER.count(diagnostic_text)
+        words = diagnostic_text.split()
+        if len(words) <= self.max_words:
+            text = diagnostic_text.strip()
+            return SummaryResult(
+                text=text,
+                input_tokens=input_tokens,
+                summary_tokens=DEFAULT_TOKENIZER.count(text),
+                word_count=len(words),
+            )
+        prompt = build_summarization_prompt(diagnostic_text)
+        completion = self.model.complete([ChatMessage(role="user", content=prompt)])
+        summary = self._enforce_budget(completion.text)
+        return SummaryResult(
+            text=summary,
+            input_tokens=input_tokens,
+            summary_tokens=DEFAULT_TOKENIZER.count(summary),
+            word_count=len(summary.split()),
+        )
+
+    def _enforce_budget(self, text: str) -> str:
+        words = text.split()
+        if len(words) > self.max_words:
+            words = words[: self.max_words]
+        return " ".join(words).strip()
+
+
+def summarize_incident(
+    model: ChatModel, diagnostic_text: str, summarizer: Optional[DiagnosticSummarizer] = None
+) -> str:
+    """Convenience wrapper returning just the summary text."""
+    summarizer = summarizer or DiagnosticSummarizer(model)
+    return summarizer.summarize(diagnostic_text).text

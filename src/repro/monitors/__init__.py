@@ -1,0 +1,44 @@
+"""Monitoring substrate: probes, watchdog monitors and alert routing."""
+
+from .alerting import ALERT_TYPES, Alert, AlertRouter, AlertScope
+from .monitor import (
+    CrashSpikeMonitor,
+    ErrorLogMonitor,
+    MetricThresholdMonitor,
+    Monitor,
+    MonitorSuite,
+    ThresholdRule,
+    default_monitor_suite,
+)
+from .probes import (
+    DEFAULT_PROBES,
+    CertificateProbe,
+    DeliveryHealthProbe,
+    DiskSpaceProbe,
+    OutboundProxyProbe,
+    Probe,
+    ProbeResult,
+    ThreadStackProbe,
+)
+
+__all__ = [
+    "ALERT_TYPES",
+    "Alert",
+    "AlertRouter",
+    "AlertScope",
+    "CrashSpikeMonitor",
+    "ErrorLogMonitor",
+    "MetricThresholdMonitor",
+    "Monitor",
+    "MonitorSuite",
+    "ThresholdRule",
+    "default_monitor_suite",
+    "DEFAULT_PROBES",
+    "CertificateProbe",
+    "DeliveryHealthProbe",
+    "DiskSpaceProbe",
+    "OutboundProxyProbe",
+    "Probe",
+    "ProbeResult",
+    "ThreadStackProbe",
+]

@@ -1,0 +1,308 @@
+"""Watchdog monitors that turn telemetry into alerts.
+
+Monitors implement the detection stage of the incident life-cycle: they
+observe the telemetry hub and raise typed alerts when a symptom threshold is
+crossed.  Each monitor owns one alert type; the mapping from alert types to
+incident handlers is what the collection stage matches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from ..telemetry import LogLevel, TelemetryHub, TimeWindow
+from .alerting import Alert, AlertRouter, AlertScope
+
+
+class Monitor(Protocol):
+    """Interface implemented by every watchdog monitor."""
+
+    alert_type: str
+
+    def evaluate(
+        self, hub: TelemetryHub, window: TimeWindow, router: AlertRouter
+    ) -> List[Alert]:
+        """Inspect telemetry over a window, raising alerts via the router."""
+        ...
+
+
+@dataclass
+class ThresholdRule:
+    """A reusable metric-threshold rule shared by several monitors."""
+
+    metric: str
+    threshold: float
+    scope: AlertScope
+    severity: int
+    message: str
+
+    def breaches(self, hub: TelemetryHub, window: TimeWindow) -> Dict[str, float]:
+        """Return machines whose max of ``metric`` exceeds the threshold."""
+        breaches: Dict[str, float] = {}
+        aggregated = hub.metrics.aggregate(
+            self.metric, start=window.start, end=window.end, how="max"
+        )
+        for machine, value in aggregated.items():
+            if value > self.threshold:
+                breaches[machine] = value
+        return breaches
+
+
+class MetricThresholdMonitor:
+    """Generic monitor raising an alert per machine that breaches a rule."""
+
+    def __init__(
+        self,
+        alert_type: str,
+        rule: ThresholdRule,
+        forest_of: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.alert_type = alert_type
+        self.rule = rule
+        self._forest_of = forest_of or {}
+
+    def evaluate(
+        self, hub: TelemetryHub, window: TimeWindow, router: AlertRouter
+    ) -> List[Alert]:
+        raised: List[Alert] = []
+        for machine, value in sorted(self.rule.breaches(hub, window).items()):
+            alert = Alert(
+                alert_id=router.next_alert_id(),
+                alert_type=self.alert_type,
+                scope=self.rule.scope,
+                timestamp=window.end,
+                machine=machine if self.rule.scope is AlertScope.MACHINE else "",
+                forest=self._forest_of.get(machine, "forest-unknown"),
+                message=f"{self.rule.message} ({self.rule.metric}={value:.0f})",
+                severity=self.rule.severity,
+                attributes={"metric": self.rule.metric, "value": f"{value:.1f}"},
+            )
+            routed = router.submit(alert)
+            if routed is not None:
+                raised.append(routed)
+        return raised
+
+
+class ErrorLogMonitor:
+    """Monitor raising an alert when matching error logs exceed a count."""
+
+    def __init__(
+        self,
+        alert_type: str,
+        pattern: str,
+        min_count: int,
+        scope: AlertScope,
+        severity: int,
+        message: str,
+        forest_of: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.alert_type = alert_type
+        self.pattern = pattern
+        self.min_count = min_count
+        self.scope = scope
+        self.severity = severity
+        self.message = message
+        self._forest_of = forest_of or {}
+
+    def evaluate(
+        self, hub: TelemetryHub, window: TimeWindow, router: AlertRouter
+    ) -> List[Alert]:
+        matches = hub.logs.query(
+            start=window.start,
+            end=window.end,
+            min_level=LogLevel.ERROR,
+            pattern=self.pattern,
+        )
+        if len(matches) < self.min_count:
+            return []
+        by_machine: Dict[str, int] = {}
+        for record in matches:
+            by_machine[record.machine] = by_machine.get(record.machine, 0) + 1
+        machine = max(by_machine.items(), key=lambda kv: kv[1])[0]
+        forest = self._forest_of.get(machine, "forest-unknown")
+        alert = Alert(
+            alert_id=router.next_alert_id(),
+            alert_type=self.alert_type,
+            scope=self.scope,
+            timestamp=window.end,
+            machine=machine if self.scope is AlertScope.MACHINE else "",
+            forest=forest,
+            message=f"{self.message} ({len(matches)} matching errors)",
+            severity=self.severity,
+            attributes={"pattern": self.pattern, "count": str(len(matches))},
+        )
+        routed = router.submit(alert)
+        return [routed] if routed is not None else []
+
+
+class CrashSpikeMonitor:
+    """Monitor raising an alert when process crashes exceed a forest threshold."""
+
+    alert_type = "ProcessCrashSpike"
+
+    def __init__(
+        self, crash_threshold: int = 5, forest_of: Optional[Dict[str, str]] = None
+    ) -> None:
+        self.crash_threshold = crash_threshold
+        self._forest_of = forest_of or {}
+
+    def evaluate(
+        self, hub: TelemetryHub, window: TimeWindow, router: AlertRouter
+    ) -> List[Alert]:
+        counts = hub.events.crash_counts_by_machine(window.start, window.end)
+        per_forest: Dict[str, int] = {}
+        for machine, count in counts.items():
+            forest = self._forest_of.get(machine, "forest-unknown")
+            per_forest[forest] = per_forest.get(forest, 0) + count
+        raised: List[Alert] = []
+        for forest, count in sorted(per_forest.items()):
+            if count < self.crash_threshold:
+                continue
+            alert = Alert(
+                alert_id=router.next_alert_id(),
+                alert_type=self.alert_type,
+                scope=AlertScope.FOREST,
+                timestamp=window.end,
+                machine="",
+                forest=forest,
+                message=f"Forest-wide processes crashed over threshold ({count} crashes)",
+                severity=1,
+                attributes={"crash_count": str(count)},
+            )
+            routed = router.submit(alert)
+            if routed is not None:
+                raised.append(routed)
+        return raised
+
+
+class MonitorSuite:
+    """A collection of monitors evaluated together on a schedule."""
+
+    def __init__(self, monitors: Sequence[Monitor], router: Optional[AlertRouter] = None):
+        self.monitors = list(monitors)
+        self.router = router or AlertRouter()
+
+    def evaluate(self, hub: TelemetryHub, window: TimeWindow) -> List[Alert]:
+        """Run every monitor over the window; return newly routed alerts."""
+        alerts: List[Alert] = []
+        for monitor in self.monitors:
+            alerts.extend(monitor.evaluate(hub, window, self.router))
+        return alerts
+
+    def sweep(
+        self, hub: TelemetryHub, start: float, end: float, step: float
+    ) -> List[Alert]:
+        """Evaluate the suite over consecutive windows of ``step`` seconds."""
+        alerts: List[Alert] = []
+        cursor = start
+        while cursor < end:
+            window = TimeWindow(cursor, min(cursor + step, end))
+            alerts.extend(self.evaluate(hub, window))
+            cursor += step
+        return alerts
+
+
+def default_monitor_suite(forest_of: Dict[str, str]) -> MonitorSuite:
+    """Build the monitor suite used by the simulated Transport service.
+
+    Each monitor owns one of the alert types in
+    :data:`repro.monitors.alerting.ALERT_TYPES`.
+    """
+    monitors: List[Monitor] = [
+        ErrorLogMonitor(
+            alert_type="OutboundProxyConnectFailure",
+            pattern="WinSock",
+            min_count=2,
+            scope=AlertScope.MACHINE,
+            severity=2,
+            message="Failures detected when connecting to the front door server",
+            forest_of=forest_of,
+        ),
+        MetricThresholdMonitor(
+            alert_type="DeliveryQueueBacklog",
+            rule=ThresholdRule(
+                metric="delivery_queue_length",
+                threshold=1000,
+                scope=AlertScope.FOREST,
+                severity=2,
+                message="Too many messages stuck in the delivery queue",
+            ),
+            forest_of=forest_of,
+        ),
+        ErrorLogMonitor(
+            alert_type="AuthTokenFailure",
+            pattern="token",
+            min_count=3,
+            scope=AlertScope.FOREST,
+            severity=1,
+            message="Tokens for requesting services were not able to be created",
+            forest_of=forest_of,
+        ),
+        MetricThresholdMonitor(
+            alert_type="SmtpAvailabilityDrop",
+            rule=ThresholdRule(
+                metric="smtp_auth_error_rate",
+                threshold=0.2,
+                scope=AlertScope.FOREST,
+                severity=2,
+                message="SMTP authentication component availability dropped",
+            ),
+            forest_of=forest_of,
+        ),
+        MetricThresholdMonitor(
+            alert_type="ConnectionLimitExceeded",
+            rule=ThresholdRule(
+                metric="concurrent_connections",
+                threshold=5000,
+                scope=AlertScope.FOREST,
+                severity=2,
+                message="Number of concurrent server connections exceeded a limit",
+            ),
+            forest_of=forest_of,
+        ),
+        CrashSpikeMonitor(crash_threshold=5, forest_of=forest_of),
+        ErrorLogMonitor(
+            alert_type="PoisonMessageDetected",
+            pattern="poison",
+            min_count=1,
+            scope=AlertScope.FOREST,
+            severity=2,
+            message="Poisoned messages sent to the forest made the system unhealthy",
+            forest_of=forest_of,
+        ),
+        MetricThresholdMonitor(
+            alert_type="DiskSpaceLow",
+            rule=ThresholdRule(
+                metric="disk_usage_percent",
+                threshold=95,
+                scope=AlertScope.FOREST,
+                severity=2,
+                message="Disk nearly full; processes throwing IO exceptions",
+            ),
+            forest_of=forest_of,
+        ),
+        MetricThresholdMonitor(
+            alert_type="SubmissionQueueStuck",
+            rule=ThresholdRule(
+                metric="submission_queue_age_seconds",
+                threshold=1800,
+                scope=AlertScope.FOREST,
+                severity=2,
+                message="Messages stuck in submission queue for a long time",
+            ),
+            forest_of=forest_of,
+        ),
+        MetricThresholdMonitor(
+            alert_type="PriorityQueueDelay",
+            rule=ThresholdRule(
+                metric="normal_priority_queue_age_seconds",
+                threshold=1200,
+                scope=AlertScope.FOREST,
+                severity=3,
+                message="Normal priority messages queued in submission queues too long",
+            ),
+            forest_of=forest_of,
+        ),
+    ]
+    return MonitorSuite(monitors)

@@ -1,0 +1,218 @@
+"""Synthetic service probes.
+
+Probes are active checks run against the simulated service.  The paper's
+Figure 6 diagnostic information is dominated by the output of one such probe
+(``DatacenterHubOutboundProxyProbe``); the handlers' query actions execute
+probes and include their rendered results in the diagnostic report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from ..telemetry import LogLevel, TelemetryHub, TimeWindow
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of one probe execution.
+
+    Attributes:
+        probe_name: Name of the probe.
+        machine: Machine the probe targeted.
+        total: Total sub-checks executed.
+        failed: Number of failed sub-checks.
+        error_name: Name of the dominant error, when failed > 0.
+        details: Additional probe-specific lines for the report.
+    """
+
+    probe_name: str
+    machine: str
+    total: int
+    failed: int
+    error_name: str = ""
+    details: List[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when no sub-check failed."""
+        return self.failed == 0
+
+    def render(self) -> str:
+        """Render the probe result in the style of the paper's Figure 6."""
+        lines = [
+            f"{self.probe_name} probe result from [{self.machine}].",
+            f"Total Probes: {self.total}, Failed Probes: {self.failed}",
+        ]
+        if self.failed and self.error_name:
+            lines.append(f"Failed probe error: {self.error_name} (count: {self.failed})")
+        lines.extend(self.details)
+        return "\n".join(lines)
+
+
+class Probe(Protocol):
+    """Interface implemented by every probe."""
+
+    name: str
+
+    def run(self, hub: TelemetryHub, machine: str, window: TimeWindow) -> ProbeResult:
+        """Execute the probe against a machine over a window."""
+        ...
+
+
+class OutboundProxyProbe:
+    """Probe the SMTP outbound proxy path of a hub/front-door machine.
+
+    Fails when the telemetry shows connection errors to the front-door host
+    (the HubPortExhaustion signature from Incident 2 / Figure 6).
+    """
+
+    name = "DatacenterHubOutboundProxyProbe"
+
+    def run(self, hub: TelemetryHub, machine: str, window: TimeWindow) -> ProbeResult:
+        errors = hub.logs.query(
+            start=window.start,
+            end=window.end,
+            machine=machine,
+            min_level=LogLevel.ERROR,
+            pattern="WinSock",
+        )
+        details: List[str] = []
+        socket_count = hub.metrics.latest("udp_socket_count", machine)
+        if socket_count is not None:
+            details.append(f"Total UDP socket count observed: {int(socket_count)}")
+        error_name = ""
+        if errors:
+            error_name = errors[-1].message.split(" at ")[0]
+        return ProbeeResultFactory.build(
+            self.name, machine, total=max(2, len(errors) or 2), failed=len(errors),
+            error_name=error_name, details=details,
+        )
+
+
+class ProbeeResultFactory:
+    """Small helper so probes share result construction (keeps totals sane)."""
+
+    @staticmethod
+    def build(
+        name: str,
+        machine: str,
+        total: int,
+        failed: int,
+        error_name: str = "",
+        details: Optional[Sequence[str]] = None,
+    ) -> ProbeResult:
+        failed = min(failed, total)
+        return ProbeResult(
+            probe_name=name,
+            machine=machine,
+            total=total,
+            failed=failed,
+            error_name=error_name,
+            details=list(details or []),
+        )
+
+
+class DeliveryHealthProbe:
+    """Probe mailbox-delivery health: queue lengths and delivery latencies."""
+
+    name = "MailboxDeliveryHealthProbe"
+
+    def run(self, hub: TelemetryHub, machine: str, window: TimeWindow) -> ProbeResult:
+        queue = hub.metrics.latest("delivery_queue_length", machine) or 0.0
+        latency_series = hub.metrics.series("delivery_latency_seconds", machine)
+        latency = latency_series.mean(window.start, window.end) if latency_series else 0.0
+        failed = 1 if queue > 1000 else 0
+        details = [
+            f"Delivery queue length: {int(queue)}",
+            f"Mean delivery latency: {latency:.2f}s",
+        ]
+        error_name = "DeliveryQueueBacklogException" if failed else ""
+        return ProbeeResultFactory.build(
+            self.name, machine, total=2, failed=failed, error_name=error_name,
+            details=details,
+        )
+
+
+class DiskSpaceProbe:
+    """Probe free disk space on a machine (the common check TSGs forget)."""
+
+    name = "DiskSpaceProbe"
+
+    def __init__(self, threshold_percent: float = 95.0) -> None:
+        self.threshold_percent = threshold_percent
+
+    def run(self, hub: TelemetryHub, machine: str, window: TimeWindow) -> ProbeResult:
+        usage = hub.metrics.latest("disk_usage_percent", machine) or 0.0
+        failed = 1 if usage >= self.threshold_percent else 0
+        details = [f"Disk usage: {usage:.1f}%"]
+        error_name = "System.IO.IOException: disk full" if failed else ""
+        return ProbeeResultFactory.build(
+            self.name, machine, total=1, failed=failed, error_name=error_name,
+            details=details,
+        )
+
+
+class CertificateProbe:
+    """Probe authentication-certificate validity for a forest."""
+
+    name = "AuthCertificateProbe"
+
+    def run(self, hub: TelemetryHub, machine: str, window: TimeWindow) -> ProbeResult:
+        invalid = hub.logs.query(
+            start=window.start,
+            end=window.end,
+            min_level=LogLevel.ERROR,
+            pattern="certificate",
+        )
+        rotations = hub.events.query(
+            start=window.start, end=window.end, kind="certificate_rotation"
+        )
+        details = [f"Certificate rotations in window: {len(rotations)}"]
+        error_name = "InvalidCertificateException" if invalid else ""
+        return ProbeeResultFactory.build(
+            self.name, machine, total=max(1, len(invalid) or 1), failed=len(invalid),
+            error_name=error_name, details=details,
+        )
+
+
+class ThreadStackProbe:
+    """Group managed-thread stacks to find blocking code paths.
+
+    This mirrors the ``Get-ThreadStackGrouping.ps1`` script in Figure 5: it
+    obtains the list of stacks on managed threads in the target process and
+    groups common stacks to surface potential deadlocks.
+    """
+
+    name = "ThreadStackGroupingProbe"
+
+    def run(self, hub: TelemetryHub, machine: str, window: TimeWindow) -> ProbeResult:
+        stacks = hub.logs.query(
+            start=window.start,
+            end=window.end,
+            machine=machine,
+            pattern="   at ",
+        )
+        groups: Dict[str, int] = {}
+        for record in stacks:
+            frame = record.message.strip().splitlines()[0]
+            groups[frame] = groups.get(frame, 0) + 1
+        ranked = sorted(groups.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        details = [f"{count} threads blocked in {frame}" for frame, count in ranked]
+        failed = 1 if ranked and ranked[0][1] >= 10 else 0
+        error_name = "ThreadPoolStarvation" if failed else ""
+        return ProbeeResultFactory.build(
+            self.name, machine, total=max(1, len(stacks) or 1), failed=failed,
+            error_name=error_name, details=details,
+        )
+
+
+#: Default probe suite used by the built-in handlers.
+DEFAULT_PROBES: Dict[str, Probe] = {
+    OutboundProxyProbe.name: OutboundProxyProbe(),
+    DeliveryHealthProbe.name: DeliveryHealthProbe(),
+    DiskSpaceProbe.name: DiskSpaceProbe(),
+    CertificateProbe.name: CertificateProbe(),
+    ThreadStackProbe.name: ThreadStackProbe(),
+}

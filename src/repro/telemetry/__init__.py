@@ -1,0 +1,32 @@
+"""Telemetry substrate: logs, metrics, traces, events and a unified query hub.
+
+These are the multi-source data stores (paper Section 2.2) the collection
+stage's handler actions query.
+"""
+
+from .events import EVENT_KINDS, EventStore, SystemEvent
+from .logs import LogLevel, LogRecord, LogStore, normalize_message
+from .metrics import MetricPoint, MetricSeries, MetricStore, summarize_series
+from .query import TelemetryHub, TelemetrySnapshot, TimeWindow
+from .traces import Span, Trace, TraceStore, render_trace
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventStore",
+    "SystemEvent",
+    "LogLevel",
+    "LogRecord",
+    "LogStore",
+    "normalize_message",
+    "MetricPoint",
+    "MetricSeries",
+    "MetricStore",
+    "summarize_series",
+    "TelemetryHub",
+    "TelemetrySnapshot",
+    "TimeWindow",
+    "Span",
+    "Trace",
+    "TraceStore",
+    "render_trace",
+]

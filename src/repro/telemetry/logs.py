@@ -1,0 +1,250 @@
+"""Log records and an indexed in-memory log store.
+
+Logs are one of the three telemetry pillars the paper's collection stage
+queries (semi-structured text recording hardware and software events,
+Section 2.2).  The store supports the query shapes the incident handlers
+need: filter by component / machine / level / time window, and full-text
+substring search over messages.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class LogLevel(IntEnum):
+    """Severity levels for log records (ordered)."""
+
+    DEBUG = 10
+    INFO = 20
+    WARNING = 30
+    ERROR = 40
+    CRITICAL = 50
+
+    @classmethod
+    def parse(cls, value: "str | int | LogLevel") -> "LogLevel":
+        """Parse a level from a name, an integer, or an existing level."""
+        if isinstance(value, LogLevel):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        name = str(value).strip().upper()
+        if name in cls.__members__:
+            return cls[name]
+        raise ValueError(f"unknown log level: {value!r}")
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """A single semi-structured log line emitted by a service component.
+
+    Attributes:
+        timestamp: Seconds since the simulation epoch.
+        level: Severity of the record.
+        component: Logical component (e.g. ``Transport.Delivery``).
+        machine: Machine identifier that emitted the record.
+        message: Free-form message text.
+        fields: Optional structured key/value payload.
+    """
+
+    timestamp: float
+    level: LogLevel
+    component: str
+    machine: str
+    message: str
+    fields: Dict[str, str] = field(default_factory=dict)
+
+    def matches(self, pattern: str) -> bool:
+        """Return True if ``pattern`` (case-insensitive substring) occurs in the message."""
+        return pattern.lower() in self.message.lower()
+
+    def render(self) -> str:
+        """Render the record as a single human-readable line."""
+        extra = ""
+        if self.fields:
+            extra = " " + " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return (
+            f"[{self.timestamp:10.1f}] {self.level.name:<8} "
+            f"{self.machine} {self.component}: {self.message}{extra}"
+        )
+
+
+class LogStore:
+    """An append-mostly, time-indexed store of :class:`LogRecord` objects.
+
+    Records are kept sorted by timestamp so that time-window queries are
+    O(log n + k).  Secondary indices by machine and component accelerate the
+    scoped queries issued by scope-switching handler actions.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+        self._timestamps: List[float] = []
+        self._by_machine: Dict[str, List[int]] = {}
+        self._by_component: Dict[str, List[int]] = {}
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        self._ensure_sorted()
+        return iter(self._records)
+
+    def append(self, record: LogRecord) -> None:
+        """Append a record, maintaining indices."""
+        if self._records and record.timestamp < self._records[-1].timestamp:
+            self._sorted = False
+        index = len(self._records)
+        self._records.append(record)
+        self._timestamps.append(record.timestamp)
+        self._by_machine.setdefault(record.machine, []).append(index)
+        self._by_component.setdefault(record.component, []).append(index)
+
+    def extend(self, records: Iterable[LogRecord]) -> None:
+        """Append many records."""
+        for record in records:
+            self.append(record)
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted:
+            return
+        order = sorted(range(len(self._records)), key=lambda i: self._records[i].timestamp)
+        self._records = [self._records[i] for i in order]
+        self._timestamps = [r.timestamp for r in self._records]
+        remap = {old: new for new, old in enumerate(order)}
+        for index in (self._by_machine, self._by_component):
+            for key, values in index.items():
+                index[key] = sorted(remap[v] for v in values)
+        self._sorted = True
+
+    def machines(self) -> List[str]:
+        """Return the set of machines that have emitted at least one record."""
+        return sorted(self._by_machine)
+
+    def components(self) -> List[str]:
+        """Return the set of components that have emitted at least one record."""
+        return sorted(self._by_component)
+
+    def query(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        machine: Optional[str] = None,
+        component: Optional[str] = None,
+        min_level: Optional[LogLevel] = None,
+        pattern: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[LogRecord]:
+        """Query records by time window, scope, severity, and message pattern.
+
+        Args:
+            start: Inclusive lower bound on timestamp.
+            end: Inclusive upper bound on timestamp.
+            machine: Restrict to a single machine.
+            component: Restrict to a single component.
+            min_level: Keep records at or above this level.
+            pattern: Case-insensitive substring that must occur in the message.
+            limit: Maximum number of records returned (most recent first kept).
+
+        Returns:
+            Matching records in timestamp order.
+        """
+        self._ensure_sorted()
+        candidates = self._candidate_indices(machine, component)
+        lo, hi = self._window(start, end)
+        results: List[LogRecord] = []
+        for index in candidates:
+            if index < lo or index >= hi:
+                continue
+            record = self._records[index]
+            if min_level is not None and record.level < min_level:
+                continue
+            if pattern is not None and not record.matches(pattern):
+                continue
+            results.append(record)
+        if limit is not None and len(results) > limit:
+            results = results[-limit:]
+        return results
+
+    def _candidate_indices(
+        self, machine: Optional[str], component: Optional[str]
+    ) -> Sequence[int]:
+        if machine is not None and component is not None:
+            a = set(self._by_machine.get(machine, []))
+            b = self._by_component.get(component, [])
+            return sorted(a.intersection(b))
+        if machine is not None:
+            return self._by_machine.get(machine, [])
+        if component is not None:
+            return self._by_component.get(component, [])
+        return range(len(self._records))
+
+    def _window(self, start: Optional[float], end: Optional[float]) -> Tuple[int, int]:
+        lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
+        hi = len(self._timestamps) if end is None else bisect.bisect_right(self._timestamps, end)
+        return lo, hi
+
+    def count_by_level(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> Dict[str, int]:
+        """Count records per level name inside a time window."""
+        counts: Dict[str, int] = {}
+        for record in self.query(start=start, end=end):
+            counts[record.level.name] = counts.get(record.level.name, 0) + 1
+        return counts
+
+    def error_signatures(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        top: int = 5,
+    ) -> List[Tuple[str, int]]:
+        """Group ERROR+ messages by normalised signature and return the top groups.
+
+        Numbers and identifiers are replaced with placeholders so that
+        repeated errors with varying parameters collapse into one signature,
+        mirroring how on-call engineers eyeball "the top error message".
+        """
+        counts: Dict[str, int] = {}
+        for record in self.query(start=start, end=end, min_level=LogLevel.ERROR):
+            signature = normalize_message(record.message)
+            counts[signature] = counts.get(signature, 0) + 1
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top]
+
+    def tail(self, n: int = 20) -> List[LogRecord]:
+        """Return the ``n`` most recent records."""
+        self._ensure_sorted()
+        return self._records[-n:]
+
+
+_NUMBER_RE = re.compile(r"\b\d+(\.\d+)?\b")
+_HEX_RE = re.compile(r"\b0x[0-9a-fA-F]+\b")
+_GUID_RE = re.compile(
+    r"\b[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}\b"
+)
+
+
+def normalize_message(message: str) -> str:
+    """Normalise a log message into a template signature.
+
+    Replaces GUIDs, hexadecimal literals and decimal numbers with
+    placeholders so that messages differing only in parameters share a
+    signature.
+    """
+    signature = _GUID_RE.sub("<guid>", message)
+    signature = _HEX_RE.sub("<hex>", signature)
+    signature = _NUMBER_RE.sub("<num>", signature)
+    return signature.strip()
+
+
+def filter_records(
+    records: Iterable[LogRecord], predicate: Callable[[LogRecord], bool]
+) -> List[LogRecord]:
+    """Filter an iterable of records with an arbitrary predicate."""
+    return [record for record in records if predicate(record)]

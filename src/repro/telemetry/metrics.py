@@ -1,0 +1,263 @@
+"""Time-series metrics substrate.
+
+Metrics "monitor service status or user-perceived metrics, forming time
+series data" (paper Section 2.2).  The store keeps one series per
+(metric name, machine) pair and supports the window aggregations that
+monitors and handler query actions need: latest value, mean, max, rate of
+change, and simple threshold/z-score anomaly detection.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """A single sample of a metric series."""
+
+    timestamp: float
+    value: float
+
+
+class MetricSeries:
+    """A single time-ordered series of :class:`MetricPoint` samples."""
+
+    def __init__(self, name: str, machine: str, unit: str = "") -> None:
+        self.name = name
+        self.machine = machine
+        self.unit = unit
+        self._timestamps: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def add(self, timestamp: float, value: float) -> None:
+        """Append a sample; out-of-order samples are inserted in place."""
+        if not self._timestamps or timestamp >= self._timestamps[-1]:
+            self._timestamps.append(timestamp)
+            self._values.append(value)
+            return
+        index = bisect.bisect_left(self._timestamps, timestamp)
+        self._timestamps.insert(index, timestamp)
+        self._values.insert(index, value)
+
+    def points(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> List[MetricPoint]:
+        """Return samples inside the inclusive window [start, end]."""
+        lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
+        hi = (
+            len(self._timestamps)
+            if end is None
+            else bisect.bisect_right(self._timestamps, end)
+        )
+        return [
+            MetricPoint(self._timestamps[i], self._values[i]) for i in range(lo, hi)
+        ]
+
+    def values(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> List[float]:
+        """Return the raw values inside the window."""
+        return [point.value for point in self.points(start, end)]
+
+    def latest(self) -> Optional[MetricPoint]:
+        """Return the most recent sample, or None for an empty series."""
+        if not self._timestamps:
+            return None
+        return MetricPoint(self._timestamps[-1], self._values[-1])
+
+    def mean(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Mean value over the window (0.0 for an empty window)."""
+        values = self.values(start, end)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def maximum(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> float:
+        """Maximum value over the window (0.0 for an empty window)."""
+        values = self.values(start, end)
+        return max(values) if values else 0.0
+
+    def minimum(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> float:
+        """Minimum value over the window (0.0 for an empty window)."""
+        values = self.values(start, end)
+        return min(values) if values else 0.0
+
+    def stddev(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> float:
+        """Population standard deviation over the window."""
+        values = self.values(start, end)
+        if len(values) < 2:
+            return 0.0
+        mean = sum(values) / len(values)
+        return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+    def rate(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Average rate of change (units per second) over the window."""
+        points = self.points(start, end)
+        if len(points) < 2:
+            return 0.0
+        dt = points[-1].timestamp - points[0].timestamp
+        if dt <= 0:
+            return 0.0
+        return (points[-1].value - points[0].value) / dt
+
+    def zscore_anomalies(
+        self,
+        threshold: float = 3.0,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[MetricPoint]:
+        """Return samples whose z-score exceeds ``threshold`` within the window."""
+        points = self.points(start, end)
+        if len(points) < 3:
+            return []
+        values = [p.value for p in points]
+        mean = sum(values) / len(values)
+        std = math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+        if std == 0:
+            return []
+        return [p for p in points if abs(p.value - mean) / std > threshold]
+
+
+class MetricStore:
+    """A collection of metric series keyed by (metric name, machine)."""
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, str], MetricSeries] = {}
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def record(
+        self, name: str, machine: str, timestamp: float, value: float, unit: str = ""
+    ) -> None:
+        """Record a sample, creating the series if needed."""
+        key = (name, machine)
+        series = self._series.get(key)
+        if series is None:
+            series = MetricSeries(name, machine, unit=unit)
+            self._series[key] = series
+        series.add(timestamp, value)
+
+    def series(self, name: str, machine: str) -> Optional[MetricSeries]:
+        """Return the series for (name, machine), or None if absent."""
+        return self._series.get((name, machine))
+
+    def series_for_metric(self, name: str) -> List[MetricSeries]:
+        """Return every machine's series for a metric name."""
+        return [s for (n, _), s in sorted(self._series.items()) if n == name]
+
+    def series_for_machine(self, machine: str) -> List[MetricSeries]:
+        """Return every metric series emitted by a machine."""
+        return [s for (_, m), s in sorted(self._series.items()) if m == machine]
+
+    def metric_names(self) -> List[str]:
+        """Distinct metric names present in the store."""
+        return sorted({name for name, _ in self._series})
+
+    def machines(self) -> List[str]:
+        """Distinct machines present in the store."""
+        return sorted({machine for _, machine in self._series})
+
+    def latest(self, name: str, machine: str) -> Optional[float]:
+        """Latest value of a metric on a machine, or None."""
+        series = self.series(name, machine)
+        if series is None:
+            return None
+        point = series.latest()
+        return None if point is None else point.value
+
+    def aggregate(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        how: str = "mean",
+    ) -> Dict[str, float]:
+        """Aggregate a metric across machines over a window.
+
+        Args:
+            name: Metric name.
+            start: Window start.
+            end: Window end.
+            how: One of ``mean``, ``max``, ``min``, ``latest``.
+
+        Returns:
+            Mapping from machine to the aggregated value.
+        """
+        result: Dict[str, float] = {}
+        for series in self.series_for_metric(name):
+            if how == "mean":
+                result[series.machine] = series.mean(start, end)
+            elif how == "max":
+                result[series.machine] = series.maximum(start, end)
+            elif how == "min":
+                result[series.machine] = series.minimum(start, end)
+            elif how == "latest":
+                point = series.latest()
+                result[series.machine] = 0.0 if point is None else point.value
+            else:
+                raise ValueError(f"unknown aggregation: {how!r}")
+        return result
+
+    def top_machines(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        top: int = 5,
+        how: str = "max",
+    ) -> List[Tuple[str, float]]:
+        """Return the machines with the highest aggregated value for a metric."""
+        aggregated = self.aggregate(name, start=start, end=end, how=how)
+        ranked = sorted(aggregated.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top]
+
+    def threshold_breaches(
+        self,
+        name: str,
+        threshold: float,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Dict[str, List[MetricPoint]]:
+        """Return, per machine, the samples of ``name`` exceeding ``threshold``."""
+        breaches: Dict[str, List[MetricPoint]] = {}
+        for series in self.series_for_metric(name):
+            over = [p for p in series.points(start, end) if p.value > threshold]
+            if over:
+                breaches[series.machine] = over
+        return breaches
+
+
+def merge_stores(stores: Iterable[MetricStore]) -> MetricStore:
+    """Merge several metric stores into a new one (samples are copied)."""
+    merged = MetricStore()
+    for store in stores:
+        for (name, machine), series in store._series.items():  # noqa: SLF001 - intra-module
+            for point in series.points():
+                merged.record(name, machine, point.timestamp, point.value, unit=series.unit)
+    return merged
+
+
+def summarize_series(series: MetricSeries, window: Optional[Tuple[float, float]] = None) -> str:
+    """Render a one-line textual summary of a series for diagnostic reports."""
+    start, end = window if window else (None, None)
+    count = len(series.points(start, end))
+    return (
+        f"{series.name}@{series.machine}: n={count} "
+        f"mean={series.mean(start, end):.2f} max={series.maximum(start, end):.2f} "
+        f"latest={series.latest().value if series.latest() else 0.0:.2f}"
+        f"{' ' + series.unit if series.unit else ''}"
+    )

@@ -1,0 +1,263 @@
+"""Distributed trace substrate.
+
+Traces "represent tree-structured data detailing the flow of user requests"
+(paper Section 2.2).  The store keeps spans grouped by trace id, can rebuild
+the span tree, compute critical paths and error paths, and aggregate
+per-service latency — the queries a handler's query action issues when it
+needs to locate which hop of a mail-delivery request failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Span:
+    """A single operation within a distributed trace.
+
+    Attributes:
+        trace_id: Identifier shared by all spans of one request.
+        span_id: Unique identifier of this span.
+        parent_id: Identifier of the parent span (None for the root).
+        service: Service that executed the operation.
+        operation: Operation name (e.g. ``smtp.connect``).
+        start: Start time in seconds since the simulation epoch.
+        duration: Duration in seconds.
+        status: ``ok`` or ``error``.
+        machine: Machine the operation ran on.
+        tags: Optional key/value annotations.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    service: str
+    operation: str
+    start: float
+    duration: float
+    status: str = "ok"
+    machine: str = ""
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        """End time of the span."""
+        return self.start + self.duration
+
+    @property
+    def is_error(self) -> bool:
+        """True if the span finished in an error state."""
+        return self.status == "error"
+
+
+class Trace:
+    """A reconstructed tree of spans sharing one trace id."""
+
+    def __init__(self, trace_id: str, spans: Sequence[Span]) -> None:
+        self.trace_id = trace_id
+        self.spans = sorted(spans, key=lambda s: s.start)
+        self._children: Dict[Optional[str], List[Span]] = {}
+        for span in self.spans:
+            self._children.setdefault(span.parent_id, []).append(span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The root span (no parent), or None if the trace is broken."""
+        roots = self._children.get(None, [])
+        return roots[0] if roots else None
+
+    def children(self, span: Span) -> List[Span]:
+        """Direct children of a span."""
+        return list(self._children.get(span.span_id, []))
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration of the whole trace."""
+        if not self.spans:
+            return 0.0
+        start = min(s.start for s in self.spans)
+        end = max(s.end for s in self.spans)
+        return end - start
+
+    @property
+    def has_error(self) -> bool:
+        """True if any span in the trace errored."""
+        return any(s.is_error for s in self.spans)
+
+    def error_spans(self) -> List[Span]:
+        """All spans in an error state."""
+        return [s for s in self.spans if s.is_error]
+
+    def critical_path(self) -> List[Span]:
+        """Return the chain of spans with the largest cumulative duration.
+
+        The critical path is computed top-down: starting from the root, at
+        every step descend into the child with the largest subtree duration.
+        """
+        root = self.root
+        if root is None:
+            return []
+        path = [root]
+        current = root
+        while True:
+            children = self.children(current)
+            if not children:
+                break
+            current = max(children, key=lambda s: self._subtree_duration(s))
+            path.append(current)
+        return path
+
+    def _subtree_duration(self, span: Span) -> float:
+        total = span.duration
+        for child in self.children(span):
+            total += self._subtree_duration(child)
+        return total
+
+    def error_path(self) -> List[Span]:
+        """Return the root-to-leaf path ending at the deepest error span, if any."""
+        errors = self.error_spans()
+        if not errors:
+            return []
+        by_id = {s.span_id: s for s in self.spans}
+        deepest = max(errors, key=lambda s: self._depth(s, by_id))
+        path: List[Span] = []
+        cursor: Optional[Span] = deepest
+        while cursor is not None:
+            path.append(cursor)
+            cursor = by_id.get(cursor.parent_id) if cursor.parent_id else None
+        return list(reversed(path))
+
+    def _depth(self, span: Span, by_id: Dict[str, Span]) -> int:
+        depth = 0
+        cursor: Optional[Span] = span
+        while cursor is not None and cursor.parent_id is not None:
+            cursor = by_id.get(cursor.parent_id)
+            depth += 1
+        return depth
+
+    def services(self) -> List[str]:
+        """Distinct services that participated in this trace."""
+        return sorted({s.service for s in self.spans})
+
+
+class TraceStore:
+    """A store of spans indexed by trace id and service."""
+
+    def __init__(self) -> None:
+        self._spans_by_trace: Dict[str, List[Span]] = {}
+        self._spans_by_service: Dict[str, List[Span]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(spans) for spans in self._spans_by_trace.values())
+
+    def add(self, span: Span) -> None:
+        """Add a span to the store."""
+        self._spans_by_trace.setdefault(span.trace_id, []).append(span)
+        self._spans_by_service.setdefault(span.service, []).append(span)
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        """Add many spans."""
+        for span in spans:
+            self.add(span)
+
+    def trace_ids(self) -> List[str]:
+        """All trace ids present in the store."""
+        return sorted(self._spans_by_trace)
+
+    def trace(self, trace_id: str) -> Optional[Trace]:
+        """Reconstruct the trace tree for a trace id."""
+        spans = self._spans_by_trace.get(trace_id)
+        if not spans:
+            return None
+        return Trace(trace_id, spans)
+
+    def traces(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> List[Trace]:
+        """Return all traces whose root starts inside the window."""
+        result = []
+        for trace_id in self.trace_ids():
+            trace = self.trace(trace_id)
+            if trace is None or trace.root is None:
+                continue
+            t0 = trace.root.start
+            if start is not None and t0 < start:
+                continue
+            if end is not None and t0 > end:
+                continue
+            result.append(trace)
+        return result
+
+    def error_traces(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> List[Trace]:
+        """Return traces containing at least one error span inside the window."""
+        return [t for t in self.traces(start, end) if t.has_error]
+
+    def service_latency(
+        self,
+        service: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """Return (mean, p95) span duration for a service inside the window."""
+        durations = [
+            span.duration
+            for span in self._spans_by_service.get(service, [])
+            if (start is None or span.start >= start)
+            and (end is None or span.start <= end)
+        ]
+        if not durations:
+            return 0.0, 0.0
+        durations.sort()
+        mean = sum(durations) / len(durations)
+        index = min(len(durations) - 1, int(round(0.95 * (len(durations) - 1))))
+        return mean, durations[index]
+
+    def error_rate_by_service(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> Dict[str, float]:
+        """Per-service fraction of spans in error state inside the window."""
+        rates: Dict[str, float] = {}
+        for service, spans in self._spans_by_service.items():
+            scoped = [
+                s
+                for s in spans
+                if (start is None or s.start >= start)
+                and (end is None or s.start <= end)
+            ]
+            if not scoped:
+                continue
+            errors = sum(1 for s in scoped if s.is_error)
+            rates[service] = errors / len(scoped)
+        return rates
+
+    def slowest_traces(self, top: int = 5) -> List[Trace]:
+        """Return the ``top`` traces with the longest duration."""
+        traces = [self.trace(tid) for tid in self.trace_ids()]
+        present = [t for t in traces if t is not None]
+        present.sort(key=lambda t: -t.duration)
+        return present[:top]
+
+
+def render_trace(trace: Trace) -> str:
+    """Render a trace as an indented tree for diagnostic reports."""
+    lines: List[str] = [f"trace {trace.trace_id} ({trace.duration * 1000:.1f} ms)"]
+
+    def visit(span: Span, depth: int) -> None:
+        marker = "!" if span.is_error else " "
+        lines.append(
+            f"{'  ' * depth}{marker} {span.service}/{span.operation} "
+            f"{span.duration * 1000:.1f} ms [{span.status}]"
+        )
+        for child in trace.children(span):
+            visit(child, depth + 1)
+
+    if trace.root is not None:
+        visit(trace.root, 1)
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Vector database: embedding store, similarity formula and KNN search."""
+
+from .knn import NearestNeighborSearch, Neighbor
+from .similarity import (
+    DEFAULT_ALPHA,
+    DEFAULT_K,
+    SimilarityConfig,
+    euclidean_distance,
+    similarity,
+    temporal_decay,
+)
+from .store import VectorEntry, VectorStore
+
+__all__ = [
+    "NearestNeighborSearch",
+    "Neighbor",
+    "DEFAULT_ALPHA",
+    "DEFAULT_K",
+    "SimilarityConfig",
+    "euclidean_distance",
+    "similarity",
+    "temporal_decay",
+    "VectorEntry",
+    "VectorStore",
+]

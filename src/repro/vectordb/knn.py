@@ -1,0 +1,121 @@
+"""Temporal-decay nearest-neighbour search over the vector store.
+
+Implements the paper's neighbour selection (Section 4.2.2): score every
+historical incident with the combined Euclidean/temporal similarity, then
+"select the top K incidents from different categories as demonstrations for
+the LLM", keeping the demonstration set diverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .similarity import SimilarityConfig
+from .store import VectorEntry, VectorStore
+
+
+@dataclass
+class Neighbor:
+    """One retrieved neighbour with its similarity score."""
+
+    entry: VectorEntry
+    similarity: float
+
+    @property
+    def category(self) -> str:
+        """Category of the neighbouring incident."""
+        return self.entry.category
+
+    @property
+    def incident_id(self) -> str:
+        """Id of the neighbouring incident."""
+        return self.entry.incident_id
+
+
+class NearestNeighborSearch:
+    """Brute-force scored search with optional per-category diversity."""
+
+    def __init__(self, store: VectorStore, config: Optional[SimilarityConfig] = None) -> None:
+        self.store = store
+        self.config = config or SimilarityConfig()
+
+    def score_all(self, query_vector: np.ndarray, query_day: float) -> np.ndarray:
+        """Similarity of the query against every stored incident (vectorised)."""
+        matrix = self.store.matrix()
+        if matrix.shape[0] == 0:
+            return np.zeros(0)
+        query = np.asarray(query_vector, dtype=np.float64).ravel()
+        if query.shape[0] != matrix.shape[1]:
+            raise ValueError(
+                f"query dimension {query.shape[0]} does not match store dimension "
+                f"{matrix.shape[1]}"
+            )
+        distances = np.linalg.norm(matrix - query[None, :], axis=1)
+        decay = np.exp(-self.config.alpha * np.abs(self.store.created_days() - query_day))
+        return (1.0 / (1.0 + distances)) * decay
+
+    def search(
+        self,
+        query_vector: np.ndarray,
+        query_day: float,
+        k: Optional[int] = None,
+        exclude_ids: Optional[set] = None,
+        history_before_day: Optional[float] = None,
+    ) -> List[Neighbor]:
+        """Return the top-K neighbours.
+
+        Args:
+            query_vector: Embedding of the incoming incident.
+            query_day: Creation day of the incoming incident.
+            k: Number of neighbours (defaults to the configured K).
+            exclude_ids: Incident ids to skip (e.g. the query itself).
+            history_before_day: When set, only incidents created strictly
+                before this day participate (prevents look-ahead when
+                evaluating on a chronological test split).
+
+        Returns:
+            Neighbours in descending similarity order.  With
+            ``diverse_categories`` enabled, at most one neighbour per
+            category is returned, matching the paper's demonstration
+            selection; if fewer categories than K exist, the best remaining
+            incidents fill the list.
+        """
+        k = k or self.config.k
+        exclude_ids = exclude_ids or set()
+        scores = self.score_all(query_vector, query_day)
+        entries = self.store.entries()
+        order = np.argsort(-scores)
+        candidates: List[Neighbor] = []
+        for index in order:
+            entry = entries[int(index)]
+            if entry.incident_id in exclude_ids:
+                continue
+            if history_before_day is not None and entry.created_day >= history_before_day:
+                continue
+            candidates.append(Neighbor(entry=entry, similarity=float(scores[int(index)])))
+
+        if not self.config.diverse_categories:
+            return candidates[:k]
+
+        selected: List[Neighbor] = []
+        seen_categories: set = set()
+        for neighbor in candidates:
+            if neighbor.category in seen_categories:
+                continue
+            selected.append(neighbor)
+            seen_categories.add(neighbor.category)
+            if len(selected) >= k:
+                return selected
+        # Fewer distinct categories than K: fill with the next best incidents.
+        if len(selected) < k:
+            chosen_ids = {n.incident_id for n in selected}
+            for neighbor in candidates:
+                if neighbor.incident_id in chosen_ids:
+                    continue
+                selected.append(neighbor)
+                if len(selected) >= k:
+                    break
+        return selected

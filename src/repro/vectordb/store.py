@@ -1,0 +1,102 @@
+"""Embedding vector store for historical incidents.
+
+The "Embedding vector DB" box of Figure 4: it keeps one embedding per
+historical incident together with the metadata the similarity formula and
+the prompt construction need (creation day, category, summary text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class VectorEntry:
+    """One stored incident embedding with its retrieval metadata."""
+
+    incident_id: str
+    vector: np.ndarray
+    created_day: float
+    category: str
+    text: str = ""
+
+
+class VectorStore:
+    """An in-memory store of incident embeddings.
+
+    Vectors are stacked into one matrix lazily so that brute-force scoring of
+    a query against the whole history is a single vectorised operation.
+    """
+
+    def __init__(self, dim: Optional[int] = None) -> None:
+        self.dim = dim
+        self._entries: List[VectorEntry] = []
+        self._by_id: Dict[str, int] = {}
+        self._matrix: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[VectorEntry]:
+        return iter(self._entries)
+
+    def __contains__(self, incident_id: str) -> bool:
+        return incident_id in self._by_id
+
+    def add(
+        self,
+        incident_id: str,
+        vector: np.ndarray,
+        created_day: float,
+        category: str,
+        text: str = "",
+    ) -> None:
+        """Add one incident embedding; ids must be unique."""
+        if incident_id in self._by_id:
+            raise ValueError(f"duplicate incident id in vector store: {incident_id}")
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if self.dim is None:
+            self.dim = vector.shape[0]
+        elif vector.shape[0] != self.dim:
+            raise ValueError(
+                f"vector dimension {vector.shape[0]} does not match store dimension {self.dim}"
+            )
+        self._by_id[incident_id] = len(self._entries)
+        self._entries.append(
+            VectorEntry(
+                incident_id=incident_id,
+                vector=vector,
+                created_day=created_day,
+                category=category,
+                text=text,
+            )
+        )
+        self._matrix = None  # invalidate cache
+
+    def get(self, incident_id: str) -> Optional[VectorEntry]:
+        """Fetch an entry by incident id."""
+        index = self._by_id.get(incident_id)
+        return None if index is None else self._entries[index]
+
+    def entries(self) -> List[VectorEntry]:
+        """All entries in insertion order."""
+        return list(self._entries)
+
+    def categories(self) -> List[str]:
+        """Distinct categories present in the store."""
+        return sorted({entry.category for entry in self._entries})
+
+    def matrix(self) -> np.ndarray:
+        """All vectors stacked row-wise (cached)."""
+        if self._matrix is None:
+            if not self._entries:
+                return np.zeros((0, self.dim or 0))
+            self._matrix = np.stack([entry.vector for entry in self._entries])
+        return self._matrix
+
+    def created_days(self) -> np.ndarray:
+        """Creation days of all entries, aligned with :meth:`matrix` rows."""
+        return np.array([entry.created_day for entry in self._entries])

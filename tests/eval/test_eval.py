@@ -1,0 +1,148 @@
+"""Tests for metrics, reporting, figures, deployment simulation and experiment runners."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import (
+    DeploymentSimulator,
+    TeamProfile,
+    alert_type_coverage,
+    f1_report,
+    figure2_recurrence,
+    figure3_category_distribution,
+    render_bar_chart,
+    render_matrix,
+    render_table,
+    table1_scenarios,
+    top_confusions,
+)
+from repro.eval.experiment import evaluate_method
+from repro.baselines import FineTunedGptBaseline
+
+
+class TestMetrics:
+    def test_perfect_predictions(self):
+        report = f1_report(["a", "b", "a"], ["a", "b", "a"])
+        assert report.micro_f1 == pytest.approx(1.0)
+        assert report.macro_f1 == pytest.approx(1.0)
+        assert report.accuracy == pytest.approx(1.0)
+
+    def test_all_wrong(self):
+        report = f1_report(["a", "a"], ["b", "b"])
+        assert report.micro_f1 == 0.0
+        assert report.macro_f1 == 0.0
+
+    def test_micro_equals_accuracy_single_label(self):
+        truths = ["a", "b", "c", "a", "b"]
+        predictions = ["a", "c", "c", "b", "b"]
+        report = f1_report(truths, predictions)
+        assert report.micro_f1 == pytest.approx(report.accuracy)
+
+    def test_macro_penalises_minority_misses(self):
+        truths = ["common"] * 9 + ["rare"]
+        predictions = ["common"] * 10
+        report = f1_report(truths, predictions)
+        assert report.micro_f1 > report.macro_f1
+
+    def test_empty_inputs(self):
+        report = f1_report([], [])
+        assert report.micro_f1 == 0.0 and report.support == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            f1_report(["a"], [])
+
+    def test_top_confusions(self):
+        confusions = top_confusions(["a", "a", "b"], ["b", "b", "b"])
+        assert confusions[0] == ("a", "b", 2)
+
+    def test_spurious_new_labels_hurt_micro(self):
+        truths = ["a", "a", "b"]
+        predictions = ["a", "NewLabel", "b"]
+        report = f1_report(truths, predictions)
+        assert report.micro_f1 < 1.0
+
+    @given(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=50),
+    )
+    @settings(max_examples=40)
+    def test_bounds_and_self_consistency(self, truths):
+        predictions = list(truths)
+        report = f1_report(truths, predictions)
+        assert report.micro_f1 == pytest.approx(1.0)
+        shuffled = list(reversed(truths))
+        partial = f1_report(truths, shuffled)
+        assert 0.0 <= partial.micro_f1 <= 1.0
+        assert 0.0 <= partial.macro_f1 <= 1.0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["33", "4"]], title="T")
+        assert text.startswith("T\n")
+        assert "33" in text
+
+    def test_render_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_render_bar_chart(self):
+        text = render_bar_chart([("x", 1.0), ("y", 0.5)], title="chart")
+        assert "#" in text and "x" in text
+
+    def test_render_bar_chart_empty(self):
+        assert "(no data)" in render_bar_chart([], title="chart")
+
+    def test_render_matrix_missing_cell(self):
+        text = render_matrix(["r"], ["c1", "c2"], {("r", "c1"): 0.5})
+        assert "-" in text
+
+
+class TestFigures:
+    def test_figure2(self, small_corpus):
+        result = figure2_recurrence(small_corpus)
+        assert result.fraction_within_20_days > 0.5
+        assert sum(p for _, p in result.bins) <= 1.0 + 1e-9
+        assert "Figure 2" in result.render()
+
+    def test_figure3(self, small_corpus):
+        result = figure3_category_distribution(small_corpus)
+        assert result.total_categories == len(small_corpus.categories())
+        assert sum(result.histogram.values()) == result.total_categories
+        assert "Figure 3" in result.render()
+
+    def test_table1_scenarios_rendering(self):
+        text = table1_scenarios()
+        assert "HubPortExhaustion" in text
+        assert "DispatcherTaskCancelled" in text
+
+
+class TestExperimentRunner:
+    def test_evaluate_method_scores_and_times(self, corpus_split):
+        train, test = corpus_split
+        result = evaluate_method(FineTunedGptBaseline(), train, test)
+        assert 0.0 <= result.micro_f1 <= 1.0
+        assert result.train_seconds >= 0.0
+        assert result.infer_seconds_per_incident >= 0.0
+        assert len(result.predictions) == len(test.labelled())
+
+
+class TestDeployment:
+    def test_small_deployment_simulation(self):
+        profiles = [
+            TeamProfile("Team A", enabled_handlers=20, action_cost_seconds=5.0,
+                        incidents_per_evaluation=2),
+            TeamProfile("Team B", enabled_handlers=5, action_cost_seconds=1.0,
+                        incidents_per_evaluation=2),
+        ]
+        report = DeploymentSimulator(profiles, seed=3).run()
+        assert len(report.rows) == 2
+        by_team = {row.team: row for row in report.rows}
+        assert by_team["Team A"].avg_execution_seconds > by_team["Team B"].avg_execution_seconds
+        assert "Table 4" in report.render()
+
+    def test_alert_type_coverage_complete(self):
+        coverage = alert_type_coverage()
+        assert all(coverage.values())

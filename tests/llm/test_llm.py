@@ -1,0 +1,219 @@
+"""Tests for the tokenizer, simulated LLM, prompts, summarizer, CoT and fine-tuning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm import (
+    ChainOfThoughtPredictor,
+    ChatMessage,
+    Demonstration,
+    DiagnosticSummarizer,
+    FineTunedModel,
+    FineTuneExample,
+    SimulatedLLM,
+    Tokenizer,
+    build_direct_prediction_prompt,
+    build_prediction_prompt,
+    build_summarization_prompt,
+    count_tokens,
+    parse_prediction,
+    truncate_tokens,
+)
+from repro.llm.prompts import PREDICTION_CONTEXT, SUMMARIZE_INSTRUCTION
+
+
+class TestTokenizer:
+    def test_counts_positive(self):
+        assert count_tokens("hello world") == 2
+
+    def test_long_words_split(self):
+        tokenizer = Tokenizer()
+        assert tokenizer.count("internationalization") > 1
+
+    def test_truncate_respects_budget(self):
+        text = " ".join(["word"] * 200)
+        truncated = truncate_tokens(text, 50)
+        assert count_tokens(truncated) <= 50
+
+    def test_truncate_zero(self):
+        assert truncate_tokens("anything", 0) == ""
+
+    def test_truncate_noop_when_short(self):
+        assert truncate_tokens("short text", 100) == "short text"
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=50)
+    def test_count_never_negative_and_empty_is_zero(self, text):
+        assert count_tokens(text) >= 0
+        assert count_tokens("") == 0
+
+
+class TestPrompts:
+    def test_summarization_prompt_contains_instruction(self):
+        prompt = build_summarization_prompt("diagnostic body")
+        assert SUMMARIZE_INSTRUCTION in prompt
+        assert "diagnostic body" in prompt
+
+    def test_prediction_prompt_structure(self):
+        demos = [
+            Demonstration("INC-1", "socket exhaustion details", "HubPortExhaustion", 0.9),
+            Demonstration("INC-2", "disk full details", "FullDisk", 0.5),
+        ]
+        prompt = build_prediction_prompt("query incident text", demos)
+        assert prompt.text.startswith(PREDICTION_CONTEXT)
+        assert "A: Unseen incident." in prompt.text
+        assert "category: HubPortExhaustion." in prompt.text
+        assert prompt.category_for("A") is None
+        assert prompt.category_for("B") == "HubPortExhaustion"
+        assert prompt.category_for("C") == "FullDisk"
+
+    def test_too_many_demonstrations_rejected(self):
+        demos = [Demonstration(f"i{n}", "x", f"c{n}") for n in range(30)]
+        with pytest.raises(ValueError):
+            build_prediction_prompt("q", demos)
+
+    def test_parse_prediction_falls_back_to_unseen(self):
+        demos = [Demonstration("INC-1", "text", "Cat")]
+        prompt = build_prediction_prompt("q", demos)
+        parsed = parse_prediction("garbage with no letter", prompt)
+        assert parsed.letter == "A"
+        assert parsed.is_unseen
+
+    def test_parse_prediction_extracts_choice_and_explanation(self):
+        demos = [Demonstration("INC-1", "text", "Cat")]
+        prompt = build_prediction_prompt("q", demos)
+        parsed = parse_prediction("B: text category: Cat.\nExplanation: matches tokens", prompt)
+        assert parsed.letter == "B"
+        assert parsed.category == "Cat"
+        assert "matches" in parsed.explanation
+
+    def test_direct_prompt(self):
+        prompt = build_direct_prediction_prompt("some incident")
+        assert "Category:" in prompt
+
+
+DIAG_TEXT = "\n".join(
+    [
+        "== Probe results ==",
+        "DatacenterHubOutboundProxyProbe probe result from [m1].",
+        "Total Probes: 2, Failed Probes: 2",
+        "Failed probe error: No such host is known WinSock error 11001",
+        "== Error logs ==",
+        "InformativeSocketException: No such host is known at TcpClientFactory.Create",
+        "== Key metrics ==",
+        "Total UDP socket count : 15276",
+        "14923: Transport.exe, 203736",
+    ]
+    + [f"routine noise line {i} nothing interesting happened here today" for i in range(40)]
+)
+
+
+class TestSimulatedLLM:
+    def test_summarization_respects_budget(self):
+        model = SimulatedLLM()
+        summarizer = DiagnosticSummarizer(model)
+        result = summarizer.summarize(DIAG_TEXT)
+        assert result.word_count <= 140
+        assert "socket" in result.text.lower() or "winsock" in result.text.lower()
+
+    def test_short_input_passthrough(self):
+        model = SimulatedLLM()
+        summarizer = DiagnosticSummarizer(model)
+        result = summarizer.summarize("short diagnostic info")
+        assert result.text == "short diagnostic info"
+
+    def test_invalid_summary_budget(self):
+        with pytest.raises(ValueError):
+            DiagnosticSummarizer(SimulatedLLM(), min_words=0)
+        with pytest.raises(ValueError):
+            DiagnosticSummarizer(SimulatedLLM(), min_words=100, max_words=50)
+
+    def test_multiple_choice_picks_lexically_matching_option(self):
+        model = SimulatedLLM()
+        demos = [
+            Demonstration(
+                "INC-1",
+                "WinSock error 11001 UDP socket count 15000 Transport.exe exhaustion",
+                "HubPortExhaustion",
+            ),
+            Demonstration(
+                "INC-2",
+                "System.IO.IOException not enough space on the disk crash",
+                "FullDisk",
+            ),
+        ]
+        predictor = ChainOfThoughtPredictor(model)
+        prediction = predictor.predict(DIAG_TEXT, demos)
+        assert prediction.category == "HubPortExhaustion"
+        assert not prediction.is_unseen
+        assert prediction.explanation
+
+    def test_unseen_incident_generates_new_label(self):
+        model = SimulatedLLM()
+        demos = [
+            Demonstration("INC-1", "certificate thumbprint mismatch token", "AuthCertIssue"),
+            Demonstration("INC-2", "poison message routing crash", "UseRouteResolution"),
+        ]
+        disk_text = (
+            "System.IO.IOException: There is not enough space on the disk "
+            "at DiagnosticsLog.Write QueueManager.Persist worker crashed IO exceptions"
+        )
+        predictor = ChainOfThoughtPredictor(model)
+        prediction = predictor.predict(disk_text, demos)
+        assert prediction.is_unseen
+        assert prediction.new_category  # e.g. IoBottleneck
+        assert prediction.label == prediction.new_category
+
+    def test_direct_prediction_without_demos(self):
+        prediction = ChainOfThoughtPredictor(SimulatedLLM()).predict(DIAG_TEXT, [])
+        assert prediction.chosen_letter == "-"
+        assert prediction.label
+
+    def test_usage_tracking(self):
+        model = SimulatedLLM()
+        model.complete([ChatMessage("user", build_summarization_prompt(DIAG_TEXT))])
+        assert model.usage.calls == 1
+        assert model.usage.prompt_tokens > 0
+
+    def test_noise_changes_some_answers(self):
+        noisy = SimulatedLLM(noise=1.0, seed=1)
+        demos = [
+            Demonstration("INC-1", "WinSock socket exhaustion Transport.exe", "HubPortExhaustion"),
+            Demonstration("INC-2", "disk full IOException", "FullDisk"),
+        ]
+        prediction = ChainOfThoughtPredictor(noisy).predict(DIAG_TEXT, demos)
+        # With noise=1.0 the runner-up is always taken instead of the best.
+        assert prediction.category != "HubPortExhaustion" or prediction.is_unseen
+
+
+class TestFineTunedModel:
+    def test_finetune_and_predict(self):
+        model = FineTunedModel()
+        job = model.finetune(
+            [
+                FineTuneExample("socket exhaustion WinSock UDP", "HubPortExhaustion"),
+                FineTuneExample("socket count exceeded proxy failure", "HubPortExhaustion"),
+                FineTuneExample("disk full IOException no space", "FullDisk"),
+                FineTuneExample("IO exception disk usage crash", "FullDisk"),
+            ]
+        )
+        assert job.examples == 4 and job.labels == 2
+        assert model.predict_label("UDP socket exhaustion seen") == "HubPortExhaustion"
+        assert model.predict_label("disk has no space IOException") == "FullDisk"
+        assert set(model.labels) == {"HubPortExhaustion", "FullDisk"}
+
+    def test_complete_interface(self):
+        model = FineTunedModel()
+        model.finetune([FineTuneExample("a b c", "X"), FineTuneExample("d e f", "Y")])
+        result = model.complete([ChatMessage("user", "a b c")])
+        assert result.text == "Category: X"
+
+    def test_empty_finetune_rejected(self):
+        with pytest.raises(ValueError):
+            FineTunedModel().finetune([])
+
+    def test_predict_before_finetune(self):
+        with pytest.raises(RuntimeError):
+            FineTunedModel().predict_label("x")

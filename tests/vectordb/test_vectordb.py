@@ -1,0 +1,163 @@
+"""Tests for the similarity formula, vector store and KNN search."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vectordb import (
+    NearestNeighborSearch,
+    SimilarityConfig,
+    VectorStore,
+    euclidean_distance,
+    similarity,
+    temporal_decay,
+)
+
+
+class TestSimilarityFormula:
+    def test_identical_vectors_same_day_is_one(self):
+        a = np.array([1.0, 2.0])
+        assert similarity(a, a, 5.0, 5.0, alpha=0.3) == pytest.approx(1.0)
+
+    def test_distance_reduces_similarity(self):
+        a, b = np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        assert similarity(a, b, 0.0, 0.0) == pytest.approx(1.0 / 6.0)
+
+    def test_temporal_gap_reduces_similarity(self):
+        a = np.array([1.0])
+        near = similarity(a, a, 0.0, 1.0, alpha=0.3)
+        far = similarity(a, a, 0.0, 30.0, alpha=0.3)
+        assert near > far
+
+    def test_alpha_zero_disables_decay(self):
+        a = np.array([1.0])
+        assert similarity(a, a, 0.0, 100.0, alpha=0.0) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            euclidean_distance(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_negative_alpha_raises(self):
+        with pytest.raises(ValueError):
+            temporal_decay(0.0, 1.0, alpha=-0.1)
+        with pytest.raises(ValueError):
+            SimilarityConfig(alpha=-1.0)
+        with pytest.raises(ValueError):
+            SimilarityConfig(k=0)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=8),
+        st.lists(st.floats(-100, 100), min_size=2, max_size=8),
+        st.floats(0, 300),
+        st.floats(0, 300),
+        st.floats(0, 1),
+    )
+    @settings(max_examples=60)
+    def test_similarity_bounded_and_symmetric(self, a, b, ta, tb, alpha):
+        size = min(len(a), len(b))
+        va, vb = np.array(a[:size]), np.array(b[:size])
+        score = similarity(va, vb, ta, tb, alpha=alpha)
+        assert 0.0 <= score <= 1.0
+        assert score == pytest.approx(similarity(vb, va, tb, ta, alpha=alpha))
+
+    @given(st.floats(0, 50), st.floats(0, 50))
+    def test_temporal_decay_monotone_in_gap(self, t1, t2):
+        near = temporal_decay(0.0, min(t1, t2))
+        far = temporal_decay(0.0, max(t1, t2))
+        assert near >= far
+
+
+class TestVectorStore:
+    def test_add_and_get(self):
+        store = VectorStore()
+        store.add("i1", np.array([1.0, 0.0]), created_day=1.0, category="A")
+        assert len(store) == 1
+        assert "i1" in store
+        assert store.get("i1").category == "A"
+        assert store.get("missing") is None
+
+    def test_duplicate_id_rejected(self):
+        store = VectorStore()
+        store.add("i1", np.array([1.0]), 1.0, "A")
+        with pytest.raises(ValueError):
+            store.add("i1", np.array([2.0]), 2.0, "B")
+
+    def test_dimension_mismatch_rejected(self):
+        store = VectorStore()
+        store.add("i1", np.array([1.0, 2.0]), 1.0, "A")
+        with pytest.raises(ValueError):
+            store.add("i2", np.array([1.0]), 1.0, "B")
+
+    def test_matrix_and_days_alignment(self):
+        store = VectorStore()
+        store.add("i1", np.array([1.0, 0.0]), 1.0, "A")
+        store.add("i2", np.array([0.0, 1.0]), 2.0, "B")
+        assert store.matrix().shape == (2, 2)
+        assert list(store.created_days()) == [1.0, 2.0]
+        assert store.categories() == ["A", "B"]
+
+
+def build_store():
+    store = VectorStore()
+    store.add("a1", np.array([1.0, 0.0, 0.0]), created_day=10.0, category="A", text="a one")
+    store.add("a2", np.array([0.9, 0.1, 0.0]), created_day=11.0, category="A", text="a two")
+    store.add("b1", np.array([0.0, 1.0, 0.0]), created_day=11.5, category="B", text="b one")
+    store.add("c1", np.array([0.0, 0.0, 1.0]), created_day=2.0, category="C", text="c one")
+    return store
+
+
+class TestKnn:
+    def test_search_orders_by_similarity(self):
+        search = NearestNeighborSearch(build_store(), SimilarityConfig(alpha=0.0, k=4, diverse_categories=False))
+        neighbors = search.search(np.array([1.0, 0.0, 0.0]), query_day=12.0)
+        assert neighbors[0].incident_id == "a1"
+        assert [n.incident_id for n in neighbors][:2] == ["a1", "a2"]
+
+    def test_diverse_categories_dedupes(self):
+        search = NearestNeighborSearch(build_store(), SimilarityConfig(alpha=0.0, k=3, diverse_categories=True))
+        neighbors = search.search(np.array([1.0, 0.0, 0.0]), query_day=12.0)
+        categories = [n.category for n in neighbors]
+        assert len(categories) == len(set(categories)) == 3
+
+    def test_fill_when_fewer_categories_than_k(self):
+        search = NearestNeighborSearch(build_store(), SimilarityConfig(alpha=0.0, k=4, diverse_categories=True))
+        neighbors = search.search(np.array([1.0, 0.0, 0.0]), query_day=12.0)
+        assert len(neighbors) == 4  # 3 distinct categories + 1 filler
+
+    def test_temporal_decay_prefers_recent(self):
+        search = NearestNeighborSearch(build_store(), SimilarityConfig(alpha=0.9, k=1, diverse_categories=False))
+        neighbors = search.search(np.array([0.0, 0.0, 1.0]), query_day=12.0)
+        # c1 is the exact match but is 10 days old; with strong decay the
+        # recent b1 wins.
+        assert neighbors[0].incident_id == "b1"
+
+    def test_exclude_ids_and_history_cutoff(self):
+        search = NearestNeighborSearch(build_store(), SimilarityConfig(alpha=0.0, k=4, diverse_categories=False))
+        neighbors = search.search(
+            np.array([1.0, 0.0, 0.0]), query_day=12.0, exclude_ids={"a1"}, history_before_day=11.0
+        )
+        ids = [n.incident_id for n in neighbors]
+        assert "a1" not in ids
+        assert "b1" not in ids  # created at 11.5 >= cutoff
+
+    def test_query_dimension_mismatch(self):
+        search = NearestNeighborSearch(build_store())
+        with pytest.raises(ValueError):
+            search.search(np.array([1.0]), query_day=1.0)
+
+    def test_empty_store(self):
+        search = NearestNeighborSearch(VectorStore())
+        assert search.search(np.array([1.0]), query_day=1.0) == []
+
+    def test_scores_match_formula(self):
+        store = build_store()
+        search = NearestNeighborSearch(store, SimilarityConfig(alpha=0.3, k=4))
+        query = np.array([0.5, 0.5, 0.0])
+        scores = search.score_all(query, query_day=12.0)
+        for index, entry in enumerate(store.entries()):
+            expected = similarity(query, entry.vector, 12.0, entry.created_day, alpha=0.3)
+            assert scores[index] == pytest.approx(expected)
