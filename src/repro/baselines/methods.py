@@ -19,7 +19,7 @@ Methods:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol
+from typing import List, Optional, Protocol, Sequence
 
 from ..core import ContextSource, PredictionConfig, PredictionStage
 from ..embedding import FastTextClassifier, FastTextClassifierConfig
@@ -29,7 +29,12 @@ from .xgboost import GradientBoostingClassifier, GradientBoostingConfig
 
 
 class RcaMethod(Protocol):
-    """Interface shared by every compared method."""
+    """Interface shared by every compared method.
+
+    Methods may additionally expose ``predict_many(incidents)``; the
+    evaluation harness uses it when present so replays exercise the batch
+    pipeline.
+    """
 
     name: str
 
@@ -67,6 +72,9 @@ class FastTextBaseline:
     def predict(self, incident: Incident) -> str:
         return self._model.predict(_incident_text(incident))
 
+    def predict_many(self, incidents: Sequence[Incident]) -> List[str]:
+        return self._model.predict_many([_incident_text(i) for i in incidents])
+
 
 @dataclass
 class XGBoostBaseline:
@@ -88,6 +96,9 @@ class XGBoostBaseline:
     def predict(self, incident: Incident) -> str:
         return self._model.predict([_incident_text(incident)])[0]
 
+    def predict_many(self, incidents: Sequence[Incident]) -> List[str]:
+        return list(self._model.predict([_incident_text(i) for i in incidents]))
+
 
 @dataclass
 class FineTunedGptBaseline:
@@ -107,6 +118,9 @@ class FineTunedGptBaseline:
 
     def predict(self, incident: Incident) -> str:
         return self._model.predict_label(_incident_text(incident))
+
+    def predict_many(self, incidents: Sequence[Incident]) -> List[str]:
+        return [self.predict(incident) for incident in incidents]
 
 
 class GptPromptVariant:
@@ -129,6 +143,11 @@ class GptPromptVariant:
         context = self._stage.build_context(incident)
         return self._stage.predictor.predict_direct(context).label
 
+    def predict_many(self, incidents: Sequence[Incident]) -> List[str]:
+        contexts = [self._stage.build_context(incident) for incident in incidents]
+        predictions = self._stage.predictor.predict_many([(c, []) for c in contexts])
+        return [prediction.label for prediction in predictions]
+
 
 class GptEmbeddingVariant:
     """GPT-4 Embed.: full pipeline but with the generic hashed embedding."""
@@ -150,6 +169,18 @@ class GptEmbeddingVariant:
         if self.update_index and incident.is_labelled():
             self._stage.add_to_index(incident)
         return label
+
+    def predict_many(self, incidents: Sequence[Incident]) -> List[str]:
+        """Batch prediction.
+
+        Continuous labelling (``update_index=True``) is order-dependent —
+        each prediction's confirmed label becomes history for the next — so
+        it keeps the sequential replay; otherwise the whole batch goes
+        through the stage's batch pipeline.
+        """
+        if self.update_index:
+            return [self.predict(incident) for incident in incidents]
+        return [outcome.label for outcome in self._stage.predict_many(incidents)]
 
 
 class RcaCopilotMethod:
@@ -184,6 +215,18 @@ class RcaCopilotMethod:
             # becomes history for subsequent incidents (continuous deployment).
             self._stage.add_to_index(incident)
         return label
+
+    def predict_many(self, incidents: Sequence[Incident]) -> List[str]:
+        """Batch prediction.
+
+        Continuous labelling (``update_index=True``) is order-dependent —
+        each prediction's confirmed label becomes history for the next — so
+        it keeps the sequential replay; otherwise the whole batch goes
+        through the stage's batch pipeline.
+        """
+        if self.update_index:
+            return [self.predict(incident) for incident in incidents]
+        return [outcome.label for outcome in self._stage.predict_many(incidents)]
 
 
 def default_method_suite() -> List[RcaMethod]:

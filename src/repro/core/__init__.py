@@ -10,7 +10,7 @@ from .errors import (
     RCACopilotError,
 )
 from .pipeline import DiagnosisReport, RCACopilot
-from .prediction import PredictionOutcome, PredictionStage
+from .prediction import CacheStats, PredictionOutcome, PredictionStage
 
 __all__ = [
     "CollectionOutcome",
@@ -26,6 +26,7 @@ __all__ = [
     "RCACopilotError",
     "DiagnosisReport",
     "RCACopilot",
+    "CacheStats",
     "PredictionOutcome",
     "PredictionStage",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..handlers import ExecutionResult, HandlerExecutor, HandlerRegistry
 from ..incidents import Incident
@@ -49,13 +49,20 @@ class CollectionStage:
         self._executor = HandlerExecutor(hub, lookback_seconds=self.config.lookback_seconds)
         self._id_counter = itertools.count(1)
 
-    def parse_alert(self, alert: Alert, owning_team: str = "Transport") -> Incident:
+    def parse_alert(self, alert: Alert, owning_team: Optional[str] = None) -> Incident:
         """Parse an alert into a fresh incident (Figure 4 "Incident Parsing").
 
         Live incidents get an ``INC-LIVE-`` prefix so their ids can never
         collide with historical corpus ids (``INC-``) when they are folded
         back into the history after labelling.
+
+        Args:
+            alert: The routed monitor alert.
+            owning_team: Team to route the incident to; defaults to
+                ``config.default_owning_team``.
         """
+        if owning_team is None:
+            owning_team = self.config.default_owning_team
         incident_id = f"INC-LIVE-{next(self._id_counter):06d}"
         return Incident.from_alert(incident_id, alert, owning_team=owning_team)
 
@@ -88,6 +95,15 @@ class CollectionStage:
         return CollectionOutcome(
             incident=incident, matched_handler=handler.name, execution=execution
         )
+
+    def collect_many(self, incidents: Sequence[Incident]) -> List[CollectionOutcome]:
+        """Run the collection stage for a batch of incidents.
+
+        Handler execution is inherently per-incident (each handler walks its
+        own action graph over the telemetry hub), so this is a thin batch
+        wrapper that keeps the end-to-end batch pipeline uniform.
+        """
+        return [self.collect(incident) for incident in incidents]
 
     def handle_alert(self, alert: Alert) -> CollectionOutcome:
         """Parse an alert and immediately run collection for it."""

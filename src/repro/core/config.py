@@ -53,6 +53,10 @@ class CollectionConfig:
     #: Whether execution failures should raise (True) or degrade to an
     #: alert-info-only report (False), as the production system does.
     strict: bool = False
+    #: Team freshly parsed incidents are routed to when the alert carries no
+    #: routing information (the paper's deployment started with Exchange's
+    #: Transport team before expanding to other teams).
+    default_owning_team: str = "Transport"
 
 
 @dataclass

@@ -99,14 +99,25 @@ class RCACopilot:
         self._indexed = True
 
     def record_feedback(self, incident: Incident, confirmed_category: str) -> None:
-        """Fold an OCE-confirmed label back into the history.
+        """Fold an OCE-confirmed label back into the history AND the live index.
 
-        The index is rebuilt lazily on the next :meth:`index_history` call;
-        in production this runs on a schedule rather than per incident.
+        The continuous-improvement loop the paper deploys: the confirmed
+        label is written to the history store and immediately reflected in
+        the live embedding index — a correction updates the stored category
+        in place (:meth:`PredictionStage.update_category`), a newly labelled
+        incident becomes a retrievable neighbour right away
+        (:meth:`PredictionStage.add_to_index`).  No index rebuild is needed.
         """
         if incident.incident_id not in self.history:
             self.history.add(incident)
         self.history.relabel(incident.incident_id, confirmed_category)
+        if not self._indexed:
+            return
+        stored = self.history.get(incident.incident_id)
+        if stored is not None and stored.incident_id in self.prediction.vector_store:
+            self.prediction.update_category(stored.incident_id, confirmed_category)
+        elif stored is not None:
+            self.prediction.add_to_index(stored)
 
     # ---------------------------------------------------------------- diagnose
     def observe(self, alert: Alert) -> DiagnosisReport:
@@ -114,21 +125,44 @@ class RCACopilot:
         incident = self.collection.parse_alert(alert)
         return self.diagnose(incident)
 
+    def observe_many(self, alerts: List[Alert]) -> List[DiagnosisReport]:
+        """Handle a batch of incoming alerts end to end (batch triage path)."""
+        incidents = [self.collection.parse_alert(alert) for alert in alerts]
+        return self.diagnose_many(incidents)
+
     def diagnose(self, incident: Incident) -> DiagnosisReport:
-        """Run both stages for an incident and return the full report."""
-        started = time.perf_counter()
-        collection = self.collection.collect(incident)
-        prediction: Optional[PredictionOutcome] = None
-        if self._indexed:
-            prediction = self.prediction.predict(incident)
-        elapsed = time.perf_counter() - started
-        return DiagnosisReport(
-            incident=incident,
-            collection=collection,
-            prediction=prediction,
-            elapsed_seconds=elapsed,
-        )
+        """Run both stages for an incident and return the full report.
+
+        Delegates to :meth:`diagnose_many` with a single-element batch so the
+        scalar and batch paths cannot diverge.
+        """
+        return self.diagnose_many([incident])[0]
 
     def diagnose_many(self, incidents: List[Incident]) -> List[DiagnosisReport]:
-        """Diagnose a batch of incidents."""
-        return [self.diagnose(incident) for incident in incidents]
+        """Diagnose a batch of incidents through the end-to-end batch path.
+
+        Collection runs per incident (handler action graphs are inherently
+        sequential per incident); prediction runs as one batch — batch
+        context build, batch embedding, one matrix–matrix retrieval pass and
+        a deduplicated LLM batch.  Results are identical to diagnosing each
+        incident on its own.  After the batch, the stage's cache hit/miss
+        counters are exported through the telemetry hub.
+        """
+        if not incidents:
+            return []
+        started = time.perf_counter()
+        collections = self.collection.collect_many(incidents)
+        predictions: List[Optional[PredictionOutcome]] = [None] * len(incidents)
+        if self._indexed:
+            predictions = list(self.prediction.predict_many(incidents))
+        elapsed = (time.perf_counter() - started) / len(incidents)
+        self.prediction.export_cache_metrics(self.hub, timestamp=time.time())
+        return [
+            DiagnosisReport(
+                incident=incident,
+                collection=collection,
+                prediction=prediction,
+                elapsed_seconds=elapsed,
+            )
+            for incident, collection, prediction in zip(incidents, collections, predictions)
+        ]

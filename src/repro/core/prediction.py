@@ -1,20 +1,33 @@
 """Stage 2: root cause prediction (paper Section 4.2, Figure 4 right half).
 
-Pipeline per incoming incident:
+Pipeline per batch of incoming incidents:
 
-1. build the incident's prompt context from the configured sources
+1. build each incident's prompt context from the configured sources
    (summarized diagnostic info by default; AlertInfo / raw DiagnosticInfo /
-   ActionOutput for the Table 3 ablation);
-2. embed the *original* diagnostic information and run the temporal-decay
-   nearest-neighbour search over the historical incident index;
-3. construct the Figure 9 chain-of-thought prompt with the neighbours'
+   ActionOutput for the Table 3 ablation), with summarization batched
+   through the LLM's batch interface;
+2. embed the *original* diagnostic information of the whole batch in one
+   call and run the temporal-decay nearest-neighbour search as a single
+   matrix–matrix scoring pass over the historical incident index;
+3. construct the Figure 9 chain-of-thought prompts with the neighbours'
    summarized information as demonstrations;
-4. ask the LLM, parse the answer into a category (or a newly generated label
-   for unseen incidents) plus an explanation.
+4. ask the LLM for the whole batch, parse each answer into a category (or a
+   newly generated label for unseen incidents) plus an explanation.
+
+Because most incidents recur (paper Figure 2), the stage keeps
+content-hash-keyed caches of diagnostic summaries and embeddings; a
+recurring incident costs two hash lookups instead of an LLM round trip and
+an embedding pass.  Hit/miss counters are exported through the
+:class:`~repro.telemetry.TelemetryHub`.
+
+The scalar :meth:`PredictionStage.predict` delegates to the batch
+:meth:`PredictionStage.predict_many`, so both paths produce identical
+predictions and neighbour sets by construction.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -31,9 +44,34 @@ from ..llm import (
     DiagnosticSummarizer,
     SimulatedLLM,
 )
+from ..telemetry import TelemetryHub
 from ..vectordb import NearestNeighborSearch, SimilarityConfig, VectorStore
 from .config import ContextSource, PredictionConfig
 from .errors import NotFittedError
+
+
+def _content_key(text: str) -> str:
+    """Content-addressed cache key: SHA-256 of the exact text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of the content-addressed summary/embedding caches."""
+
+    summary_hits: int = 0
+    summary_misses: int = 0
+    embedding_hits: int = 0
+    embedding_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a flat mapping (metric name suffix -> value)."""
+        return {
+            "summary_hits": self.summary_hits,
+            "summary_misses": self.summary_misses,
+            "embedding_hits": self.embedding_hits,
+            "embedding_misses": self.embedding_misses,
+        }
 
 
 @dataclass
@@ -80,7 +118,114 @@ class PredictionStage:
             raise ValueError(f"unknown embedding backend: {embedding_backend!r}")
         self.vector_store: Optional[VectorStore] = None
         self.search: Optional[NearestNeighborSearch] = None
+        self.cache_stats = CacheStats()
         self._summaries: Dict[str, str] = {}
+        self._summary_cache: Dict[str, str] = {}
+        self._embedding_cache: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ caches
+    def _embed_texts(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed texts through the content-addressed embedding cache.
+
+        Repeated content — across calls or inside one batch — is embedded
+        once; only distinct cache misses reach ``embedder.embed_many``.
+        """
+        keys = [_content_key(text) for text in texts]
+        out: Optional[np.ndarray] = None
+        missing_keys: List[str] = []
+        missing_texts: List[str] = []
+        missing_rows: Dict[str, List[int]] = {}
+        for row, key in enumerate(keys):
+            if key in self._embedding_cache:
+                self.cache_stats.embedding_hits += 1
+                continue
+            rows = missing_rows.get(key)
+            if rows is None:
+                self.cache_stats.embedding_misses += 1
+                missing_rows[key] = [row]
+                missing_keys.append(key)
+                missing_texts.append(texts[row])
+            else:
+                # Deduplicated inside the batch: no second embedding pass.
+                self.cache_stats.embedding_hits += 1
+                rows.append(row)
+        if missing_texts:
+            vectors = np.asarray(self.embedder.embed_many(missing_texts))
+            for key, vector in zip(missing_keys, vectors):
+                self._embedding_cache[key] = vector
+        dim = self._embedding_cache[keys[0]].shape[0] if keys else 0
+        out = np.zeros((len(texts), dim))
+        for row, key in enumerate(keys):
+            out[row] = self._embedding_cache[key]
+        return out
+
+    def _summary_for(self, incident: Incident) -> str:
+        """Summary of one incident, through the content-addressed cache."""
+        if incident.summary:
+            return incident.summary
+        if self.config.summarize and not incident.diagnostic.is_empty():
+            text = incident.diagnostic_info()
+            key = _content_key(text)
+            summary = self._summary_cache.get(key)
+            if summary is None:
+                self.cache_stats.summary_misses += 1
+                summary = self.summarizer.summarize(text).text
+                self._summary_cache[key] = summary
+            else:
+                self.cache_stats.summary_hits += 1
+            incident.summary = summary
+            return summary
+        return incident.diagnostic_info() or incident.alert_info()
+
+    def _warm_summaries(self, incidents: Sequence[Incident]) -> None:
+        """Fill summaries for a batch with one batched summarization call.
+
+        Cache hits (and in-batch duplicates) are resolved without touching
+        the model; distinct misses go through
+        :meth:`DiagnosticSummarizer.summarize_many` in one call.
+        """
+        if not self.config.summarize:
+            return
+        pending: Dict[str, List[Incident]] = {}
+        pending_texts: List[str] = []
+        pending_keys: List[str] = []
+        for incident in incidents:
+            if incident.summary or incident.diagnostic.is_empty():
+                continue
+            text = incident.diagnostic_info()
+            key = _content_key(text)
+            cached = self._summary_cache.get(key)
+            if cached is not None:
+                self.cache_stats.summary_hits += 1
+                incident.summary = cached
+                continue
+            group = pending.get(key)
+            if group is None:
+                self.cache_stats.summary_misses += 1
+                pending[key] = [incident]
+                pending_keys.append(key)
+                pending_texts.append(text)
+            else:
+                self.cache_stats.summary_hits += 1
+                group.append(incident)
+        if not pending_texts:
+            return
+        results = self.summarizer.summarize_many(pending_texts)
+        for key, result in zip(pending_keys, results):
+            self._summary_cache[key] = result.text
+            for incident in pending[key]:
+                incident.summary = result.text
+
+    def export_cache_metrics(self, hub: TelemetryHub, timestamp: float) -> None:
+        """Emit the cache hit/miss counters as telemetry metrics."""
+        for suffix, value in self.cache_stats.as_dict().items():
+            hub.emit_metric(
+                f"rcacopilot.cache.{suffix}",
+                machine="prediction-stage",
+                timestamp=timestamp,
+                value=float(value),
+                unit="count",
+            )
 
     # ------------------------------------------------------------------ index
     def index_history(self, history: IncidentStore) -> None:
@@ -91,6 +236,10 @@ class PredictionStage:
         4.2.4 describes ("we use the original incident information to do the
         embedding and nearest neighbor search, and use the corresponding
         summarized information as part of demonstrations").
+
+        The whole history is embedded in one ``embed_many`` call and bulk
+        inserted with :meth:`VectorStore.add_many`; summaries go through the
+        batched summarizer, warming the content caches for the live stream.
         """
         labelled = history.labelled()
         if not labelled:
@@ -98,19 +247,22 @@ class PredictionStage:
         texts = [incident.diagnostic_info() or incident.alert_info() for incident in labelled]
         if hasattr(self.embedder, "fit"):
             self.embedder.fit(texts)
+        # A re-fitted embedder produces different vectors; stale entries must go.
+        self._embedding_cache.clear()
+        self._warm_summaries(labelled)
+        vectors = self._embed_texts(texts)
         self.vector_store = VectorStore()
         self._summaries = {}
-        for incident, text in zip(labelled, texts):
-            vector = self.embedder.embed(text)
-            summary = self._summary_for(incident)
+        summaries = [self._summary_for(incident) for incident in labelled]
+        for incident, summary in zip(labelled, summaries):
             self._summaries[incident.incident_id] = summary
-            self.vector_store.add(
-                incident_id=incident.incident_id,
-                vector=np.asarray(vector),
-                created_day=incident.created_day,
-                category=incident.category or "",
-                text=summary,
-            )
+        self.vector_store.add_many(
+            incident_ids=[incident.incident_id for incident in labelled],
+            vectors=vectors,
+            created_days=[incident.created_day for incident in labelled],
+            categories=[incident.category or "" for incident in labelled],
+            texts=summaries,
+        )
         self.search = NearestNeighborSearch(
             self.vector_store,
             SimilarityConfig(
@@ -123,10 +275,10 @@ class PredictionStage:
     def add_to_index(self, incident: Incident) -> None:
         """Add one labelled incident to an existing index.
 
-        Used by the continuous-labelling evaluation (and by production
-        deployments): after OCEs confirm an incident's category, it becomes a
-        retrievable neighbour for future incidents without re-fitting the
-        embedder.
+        Used by the continuous-labelling evaluation and by the live feedback
+        loop (:meth:`RCACopilot.record_feedback`): after OCEs confirm an
+        incident's category, it becomes a retrievable neighbour for future
+        incidents without re-fitting the embedder.
         """
         if self.vector_store is None or self.search is None:
             raise NotFittedError("index_history must be called before add_to_index")
@@ -135,7 +287,7 @@ class PredictionStage:
         if incident.incident_id in self.vector_store:
             return
         text = incident.diagnostic_info() or incident.alert_info()
-        vector = np.asarray(self.embedder.embed(text))
+        vector = self._embed_texts([text])[0]
         summary = self._summary_for(incident)
         self._summaries[incident.incident_id] = summary
         self.vector_store.add(
@@ -146,14 +298,11 @@ class PredictionStage:
             text=summary,
         )
 
-    def _summary_for(self, incident: Incident) -> str:
-        if incident.summary:
-            return incident.summary
-        if self.config.summarize and not incident.diagnostic.is_empty():
-            summary = self.summarizer.summarize(incident.diagnostic_info()).text
-            incident.summary = summary
-            return summary
-        return incident.diagnostic_info() or incident.alert_info()
+    def update_category(self, incident_id: str, category: str) -> None:
+        """Correct the indexed category of an incident after OCE feedback."""
+        if self.vector_store is None:
+            raise NotFittedError("index_history must be called before update_category")
+        self.vector_store.update_category(incident_id, category)
 
     # ---------------------------------------------------------------- predict
     def build_context(self, incident: Incident) -> str:
@@ -171,44 +320,88 @@ class PredictionStage:
         return "\n\n".join(part for part in parts if part).strip()
 
     def retrieve(self, incident: Incident, k: Optional[int] = None) -> List[Demonstration]:
-        """Retrieve the top-K neighbour demonstrations for an incident."""
+        """Retrieve the top-K neighbour demonstrations for one incident."""
+        return self.retrieve_many([incident], k=k)[0]
+
+    def retrieve_many(
+        self,
+        incidents: Sequence[Incident],
+        k: Optional[int] = None,
+        history_before_day: Optional[float] = None,
+    ) -> List[List[Demonstration]]:
+        """Retrieve neighbour demonstrations for a whole batch of incidents.
+
+        All queries are embedded in one pass (through the embedding cache)
+        and scored against the index in one matrix–matrix operation.
+        """
         if self.search is None or self.vector_store is None:
             raise NotFittedError("index_history must be called before retrieval")
-        query_text = incident.diagnostic_info() or incident.alert_info()
-        query_vector = np.asarray(self.embedder.embed(query_text))
-        neighbors = self.search.search(
-            query_vector,
-            incident.created_day,
+        if not incidents:
+            return []
+        texts = [
+            incident.diagnostic_info() or incident.alert_info() for incident in incidents
+        ]
+        vectors = self._embed_texts(texts)
+        neighbor_lists = self.search.search_many(
+            vectors,
+            np.array([incident.created_day for incident in incidents]),
             k=k or self.config.k,
-            exclude_ids={incident.incident_id},
+            exclude_ids=[{incident.incident_id} for incident in incidents],
+            history_before_day=history_before_day,
         )
         return [
-            Demonstration(
-                incident_id=n.incident_id,
-                summary=n.entry.text,
-                category=n.category,
-                similarity=n.similarity,
-            )
-            for n in neighbors
+            [
+                Demonstration(
+                    incident_id=n.incident_id,
+                    summary=n.entry.text,
+                    category=n.category,
+                    similarity=n.similarity,
+                )
+                for n in neighbors
+            ]
+            for neighbors in neighbor_lists
         ]
 
     def predict(self, incident: Incident) -> PredictionOutcome:
-        """Run the full prediction stage for one incident."""
-        started = time.perf_counter()
-        context = self.build_context(incident)
-        demonstrations = self.retrieve(incident)
-        prediction = self.predictor.predict(context, demonstrations)
-        elapsed = time.perf_counter() - started
-        incident.predicted_category = prediction.label
-        incident.explanation = prediction.explanation
-        return PredictionOutcome(
-            incident_id=incident.incident_id,
-            prediction=prediction,
-            summary=self._summaries.get(incident.incident_id, context),
-            neighbors=demonstrations,
-            elapsed_seconds=elapsed,
-        )
+        """Run the full prediction stage for one incident.
+
+        Delegates to :meth:`predict_many` with a single-element batch, so the
+        scalar and batch paths cannot diverge.
+        """
+        return self.predict_many([incident])[0]
 
     def predict_many(self, incidents: Sequence[Incident]) -> List[PredictionOutcome]:
-        """Predict for many incidents (used by the evaluation harness)."""
-        return [self.predict(incident) for incident in incidents]
+        """Run the full prediction stage for a batch of incidents.
+
+        Batch context build -> batch embed -> batch retrieve -> batch
+        predict.  Per-incident results are identical to sequential
+        :meth:`predict` calls (same labels, same neighbour sets); recurring
+        incidents additionally hit the summary/embedding caches and are
+        deduplicated inside the LLM batch.
+        """
+        if not incidents:
+            return []
+        started = time.perf_counter()
+        self._warm_summaries(incidents)
+        contexts = [self.build_context(incident) for incident in incidents]
+        demonstration_lists = self.retrieve_many(incidents)
+        predictions = self.predictor.predict_many(
+            list(zip(contexts, demonstration_lists))
+        )
+        elapsed = (time.perf_counter() - started) / len(incidents)
+        outcomes: List[PredictionOutcome] = []
+        for incident, context, demonstrations, prediction in zip(
+            incidents, contexts, demonstration_lists, predictions
+        ):
+            incident.predicted_category = prediction.label
+            incident.explanation = prediction.explanation
+            outcomes.append(
+                PredictionOutcome(
+                    incident_id=incident.incident_id,
+                    prediction=prediction,
+                    summary=self._summaries.get(incident.incident_id, context),
+                    neighbors=demonstrations,
+                    elapsed_seconds=elapsed,
+                )
+            )
+        return outcomes

@@ -18,6 +18,7 @@ can consume the corpus.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -199,7 +200,12 @@ class CorpusGenerator:
         created_at = created_day * SECONDS_PER_DAY
         scope = AlertScope.MACHINE if spec.scope == "machine" else AlertScope.FOREST
         forest = machine.rsplit("-", 2)[0]
-        seed = hash((self.config.seed, spec.name, serial)) & 0x7FFFFFFF
+        # zlib.crc32 instead of hash(): builtin str hashing is salted per
+        # process (PYTHONHASHSEED), which made corpora differ across runs.
+        seed = (
+            zlib.crc32(f"{self.config.seed}:{spec.name}:{serial}".encode("utf-8"))
+            & 0x7FFFFFFF
+        )
         diagnostic = render_diagnostic_report(
             spec, machine, seed, confuser_tokens=self._confuser_tokens(spec)
         )

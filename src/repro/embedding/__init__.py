@@ -6,7 +6,7 @@ from .fasttext import (
     FastTextConfig,
     FastTextEmbedder,
 )
-from .gptembed import HashedEmbedder
+from .gptembed import GPTEmbedder, HashedEmbedder
 from .text import (
     character_ngrams,
     jaccard_similarity,
@@ -22,6 +22,7 @@ __all__ = [
     "FastTextClassifierConfig",
     "FastTextConfig",
     "FastTextEmbedder",
+    "GPTEmbedder",
     "HashedEmbedder",
     "character_ngrams",
     "jaccard_similarity",

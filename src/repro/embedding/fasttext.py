@@ -60,6 +60,9 @@ class FastTextEmbedder:
         self._idf: Dict[str, float] = {}
         self._default_idf = 1.0
         self._trained = False
+        #: Token -> embedding memo; embeddings are frozen after fit, so token
+        #: vectors can be reused across every embed/embed_many call.
+        self._token_vectors: Dict[str, np.ndarray] = {}
 
     def _fit_idf(self, documents: Sequence[str]) -> None:
         """Fit inverse-document-frequency weights for document averaging.
@@ -97,6 +100,7 @@ class FastTextEmbedder:
         encoded_docs = self._encode_corpus(documents)
         pairs = self._context_pairs(encoded_docs)
         if not pairs:
+            self._token_vectors.clear()
             self._trained = True
             return self
 
@@ -116,6 +120,7 @@ class FastTextEmbedder:
                     # Linear learning-rate decay within the epoch.
                     progress = (epoch * len(order) + count) / (cfg.epochs * len(order))
                     lr = cfg.learning_rate * max(0.05, 1.0 - progress)
+        self._token_vectors.clear()
         self._trained = True
         return self
 
@@ -198,33 +203,51 @@ class FastTextEmbedder:
         """Embedding of a single token (mean of its word + subword rows)."""
         self._require_trained()
         assert self._input is not None
-        rows = self.vocab.indices(token.lower())
+        token = token.lower()
+        cached = self._token_vectors.get(token)
+        if cached is not None:
+            return cached
+        rows = self.vocab.indices(token)
         if not rows:
-            return np.zeros(self.config.dim)
-        return self._input[rows].mean(axis=0)
+            vector = np.zeros(self.config.dim)
+        else:
+            vector = self._input[rows].mean(axis=0)
+        self._token_vectors[token] = vector
+        return vector
 
     def embed(self, text: str) -> np.ndarray:
         """Embedding of a document: L2-normalised IDF-weighted mean of tokens."""
-        self._require_trained()
-        assert self._input is not None
-        tokens = tokenize(text)
-        if not tokens:
-            return np.zeros(self.config.dim)
-        total = np.zeros(self.config.dim)
-        weight_sum = 0.0
-        for token in tokens:
-            weight = self._idf.get(token, self._default_idf)
-            total += weight * self.embed_token(token)
-            weight_sum += weight
-        mean = total / weight_sum if weight_sum > 0 else total
-        norm = np.linalg.norm(mean)
-        if norm == 0:
-            return mean
-        return mean * (self.config.document_norm / norm)
+        return self.embed_many([text])[0]
 
     def embed_many(self, texts: Iterable[str]) -> np.ndarray:
-        """Embeddings for many documents, stacked row-wise."""
-        return np.stack([self.embed(text) for text in texts])
+        """Embeddings for many documents, stacked row-wise (one matrix out).
+
+        The scalar :meth:`embed` delegates here, so single and batch paths
+        share one code path: per-document vectors are the IDF-weighted mean
+        of memoised token vectors computed as a single vector–matrix product,
+        rescaled to ``document_norm``.
+        """
+        self._require_trained()
+        assert self._input is not None
+        texts = list(texts)
+        out = np.zeros((len(texts), self.config.dim))
+        for row, text in enumerate(texts):
+            tokens = tokenize(text)
+            if not tokens:
+                continue
+            weights = np.array(
+                [self._idf.get(token, self._default_idf) for token in tokens]
+            )
+            vectors = np.stack([self.embed_token(token) for token in tokens])
+            weight_sum = float(weights.sum())
+            mean = weights @ vectors
+            if weight_sum > 0:
+                mean = mean / weight_sum
+            norm = np.linalg.norm(mean)
+            if norm != 0:
+                mean = mean * (self.config.document_norm / norm)
+            out[row] = mean
+        return out
 
     def _require_trained(self) -> None:
         if not self._trained:

@@ -60,23 +60,36 @@ class HashedEmbedder:
 
     def embed(self, text: str) -> np.ndarray:
         """Embed a document as the L2-normalised TF-weighted token sum."""
-        tokens = [t for t in tokenize(text) if len(t) <= self.max_token_length]
-        if not tokens:
-            return np.zeros(self.dim)
-        counts: Dict[str, int] = {}
-        for token in tokens:
-            counts[token] = counts.get(token, 0) + 1
-        total = np.zeros(self.dim)
-        for token, count in counts.items():
-            # Sub-linear term frequency, as in common embedding pipelines.
-            total += (1.0 + np.log(count)) * self._token_vector(token)
-        norm = np.linalg.norm(total)
-        return total / norm if norm > 0 else total
+        return self.embed_many([text])[0]
 
     def embed_many(self, texts: Iterable[str]) -> np.ndarray:
-        """Embeddings for many documents, stacked row-wise."""
-        return np.stack([self.embed(text) for text in texts])
+        """Embeddings for many documents, stacked row-wise (one matrix out).
+
+        The scalar :meth:`embed` delegates here: each document is the
+        sub-linear-TF weighted sum of its (memoised) token vectors computed
+        as one vector–matrix product, then L2-normalised.
+        """
+        texts = list(texts)
+        out = np.zeros((len(texts), self.dim))
+        for row, text in enumerate(texts):
+            tokens = [t for t in tokenize(text) if len(t) <= self.max_token_length]
+            if not tokens:
+                continue
+            counts: Dict[str, int] = {}
+            for token in tokens:
+                counts[token] = counts.get(token, 0) + 1
+            # Sub-linear term frequency, as in common embedding pipelines.
+            weights = 1.0 + np.log(np.array(list(counts.values()), dtype=np.float64))
+            vectors = np.stack([self._token_vector(token) for token in counts])
+            total = weights @ vectors
+            norm = np.linalg.norm(total)
+            out[row] = total / norm if norm > 0 else total
+        return out
 
     def fit(self, documents: Optional[List[str]] = None) -> "HashedEmbedder":
         """No-op fit so the embedder is interchangeable with FastTextEmbedder."""
         return self
+
+
+#: The name the paper's GPT-4 Embed. ablation uses for this stand-in model.
+GPTEmbedder = HashedEmbedder

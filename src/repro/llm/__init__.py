@@ -8,6 +8,7 @@ from .model import (
     CompletionResult,
     SimulatedLLM,
     UsageTracker,
+    complete_many,
 )
 from .prompts import (
     Demonstration,
@@ -36,6 +37,7 @@ __all__ = [
     "CompletionResult",
     "SimulatedLLM",
     "UsageTracker",
+    "complete_many",
     "Demonstration",
     "ParsedPrediction",
     "PredictionPrompt",

@@ -10,9 +10,9 @@ and the model's explanation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from .model import ChatMessage, ChatModel
+from .model import ChatMessage, ChatModel, complete_many
 from .prompts import (
     Demonstration,
     ParsedPrediction,
@@ -75,6 +75,109 @@ class ChainOfThoughtPredictor:
             chosen_letter=parsed.letter,
             demonstrations=list(demonstrations),
         )
+
+    def _deterministic(self) -> bool:
+        """Whether identical prompts are guaranteed identical completions."""
+        return self.temperature == 0.0 and getattr(self.model, "noise", 0.0) == 0.0
+
+    def predict_many(
+        self, items: Sequence[Tuple[str, Sequence[Demonstration]]]
+    ) -> List[CategoryPrediction]:
+        """Predict categories for a batch of (incident_text, demonstrations).
+
+        Recurring incidents — identical context with identical neighbour
+        demonstrations — are collapsed to one prompt build, one completion
+        and one parse when the model is deterministic (temperature 0, no
+        simulated noise), mirroring the request deduplication of a real
+        batched serving endpoint.  The remaining distinct prompts are
+        completed through the model's batch interface in input order.
+        Per-item results are identical to calling :meth:`predict` item by
+        item.
+        """
+        dedup = self._deterministic()
+        unique_index: dict = {}
+        unique_items: List[Tuple[str, Sequence[Demonstration]]] = []
+        item_of: List[int] = []
+        for incident_text, demonstrations in items:
+            if dedup:
+                key = (
+                    incident_text,
+                    tuple(
+                        (d.incident_id, d.summary, d.category, d.similarity)
+                        for d in demonstrations
+                    ),
+                )
+                position = unique_index.get(key)
+                if position is None:
+                    position = len(unique_items)
+                    unique_index[key] = position
+                    unique_items.append((incident_text, demonstrations))
+                item_of.append(position)
+            else:
+                item_of.append(len(unique_items))
+                unique_items.append((incident_text, demonstrations))
+
+        fewshot_indices: List[int] = []
+        fewshot_prompts = []
+        direct_indices: List[int] = []
+        direct_prompts: List[str] = []
+        for index, (incident_text, demonstrations) in enumerate(unique_items):
+            if demonstrations:
+                fewshot_indices.append(index)
+                fewshot_prompts.append(build_prediction_prompt(incident_text, demonstrations))
+            else:
+                direct_indices.append(index)
+                direct_prompts.append(build_direct_prediction_prompt(incident_text))
+        unique_results: List[Optional[CategoryPrediction]] = [None] * len(unique_items)
+        if fewshot_prompts:
+            completions = complete_many(
+                self.model,
+                [[ChatMessage(role="user", content=p.text)] for p in fewshot_prompts],
+                temperature=self.temperature,
+            )
+            for index, prompt, completion in zip(fewshot_indices, fewshot_prompts, completions):
+                parsed: ParsedPrediction = parse_prediction(completion.text, prompt)
+                unique_results[index] = CategoryPrediction(
+                    category=parsed.category,
+                    is_unseen=parsed.is_unseen,
+                    new_category=parsed.new_category,
+                    explanation=parsed.explanation,
+                    chosen_letter=parsed.letter,
+                    demonstrations=list(unique_items[index][1]),
+                )
+        if direct_prompts:
+            completions = complete_many(
+                self.model,
+                [[ChatMessage(role="user", content=p)] for p in direct_prompts],
+                temperature=self.temperature,
+            )
+            for index, completion in zip(direct_indices, completions):
+                category, explanation = parse_direct_prediction(completion.text)
+                unique_results[index] = CategoryPrediction(
+                    category=category,
+                    is_unseen=category is None,
+                    new_category=category,
+                    explanation=explanation,
+                    chosen_letter="-",
+                    demonstrations=[],
+                )
+        if not dedup:
+            return unique_results  # type: ignore[return-value]
+        results: List[CategoryPrediction] = []
+        for item_index, (incident_text, demonstrations) in enumerate(items):
+            shared = unique_results[item_of[item_index]]
+            assert shared is not None
+            results.append(
+                CategoryPrediction(
+                    category=shared.category,
+                    is_unseen=shared.is_unseen,
+                    new_category=shared.new_category,
+                    explanation=shared.explanation,
+                    chosen_letter=shared.chosen_letter,
+                    demonstrations=list(demonstrations),
+                )
+            )
+        return results
 
     def predict_direct(self, incident_text: str) -> CategoryPrediction:
         """Zero-shot prediction without demonstrations (baseline variant)."""

@@ -65,6 +65,31 @@ class ChatModel(Protocol):
         """Produce a completion for a conversation."""
         ...
 
+    def complete_many(
+        self, conversations: Sequence[Sequence[ChatMessage]], temperature: float = 0.0
+    ) -> List["CompletionResult"]:
+        """Produce completions for a batch of conversations."""
+        ...
+
+
+def complete_many(
+    model: "ChatModel",
+    conversations: Sequence[Sequence[ChatMessage]],
+    temperature: float = 0.0,
+) -> List[CompletionResult]:
+    """Batch-complete through a model, falling back to a sequential loop.
+
+    ``complete_many`` is part of the :class:`ChatModel` contract; this
+    helper exists as a compatibility adapter for minimal models (test
+    doubles, legacy integrations) that only implement ``complete`` — they
+    are driven one conversation at a time, preserving call order.  New
+    models should implement ``complete_many`` themselves.
+    """
+    batch = getattr(model, "complete_many", None)
+    if batch is not None:
+        return batch(conversations, temperature=temperature)
+    return [model.complete(messages, temperature=temperature) for messages in conversations]
+
 
 @dataclass
 class UsageTracker:
@@ -132,6 +157,32 @@ class SimulatedLLM:
         )
         self.usage.record(result)
         return result
+
+    def complete_many(
+        self, conversations: Sequence[Sequence[ChatMessage]], temperature: float = 0.0
+    ) -> List[CompletionResult]:
+        """Answer a batch of conversations in order.
+
+        When the model is deterministic (``noise == 0``), identical prompts
+        inside one batch are completed once and the result is shared — the
+        in-batch deduplication a real batched serving endpoint performs.
+        Usage is recorded per *actual* completion, so a recurring-incident
+        batch shows fewer LLM calls than conversations.  With ``noise > 0``
+        every conversation is completed independently, preserving the exact
+        RNG draw order of sequential calls.
+        """
+        if self.noise > 0:
+            return [self.complete(messages, temperature=temperature) for messages in conversations]
+        memo: Dict[str, CompletionResult] = {}
+        results: List[CompletionResult] = []
+        for messages in conversations:
+            key = "\n\n".join(m.content for m in messages)
+            cached = memo.get(key)
+            if cached is None:
+                cached = self.complete(messages, temperature=temperature)
+                memo[key] = cached
+            results.append(cached)
+        return results
 
     # ---------------------------------------------------------- summarization
     def _summarize(self, prompt: str, target_words: Tuple[int, int] = (120, 140)) -> str:
@@ -233,7 +284,9 @@ class SimulatedLLM:
         if not option_tokens or "unseen incident" in option_text.lower():
             return 0.0
         option_set = set(option_tokens)
-        shared = set(input_tokens) & option_set
+        # Sorted iteration keeps the float accumulation order independent of
+        # the process hash seed, so scores are bit-identical across runs.
+        shared = sorted(set(input_tokens) & option_set)
         if not shared:
             return 0.0
         score = 0.0

@@ -9,9 +9,9 @@ Figure 7 prompt and enforces the word budget on the result.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from .model import ChatMessage, ChatModel
+from .model import ChatMessage, ChatModel, complete_many
 from .prompts import build_summarization_prompt
 from .tokenizer import DEFAULT_TOKENIZER
 
@@ -67,6 +67,48 @@ class DiagnosticSummarizer:
             summary_tokens=DEFAULT_TOKENIZER.count(summary),
             word_count=len(summary.split()),
         )
+
+    def summarize_many(self, diagnostic_texts: Sequence[str]) -> List[SummaryResult]:
+        """Summarize a batch of diagnostic reports with one batched LLM call.
+
+        Texts already inside the word budget pass through unchanged exactly
+        as in :meth:`summarize`; the remaining texts are completed through
+        the model's batch interface (which deduplicates identical prompts
+        for deterministic models), so a batch of recurring incidents costs
+        one LLM completion per distinct report.
+        """
+        results: List[Optional[SummaryResult]] = []
+        pending_indices: List[int] = []
+        pending_prompts: List[List[ChatMessage]] = []
+        for text in diagnostic_texts:
+            words = text.split()
+            if len(words) <= self.max_words:
+                stripped = text.strip()
+                results.append(
+                    SummaryResult(
+                        text=stripped,
+                        input_tokens=DEFAULT_TOKENIZER.count(text),
+                        summary_tokens=DEFAULT_TOKENIZER.count(stripped),
+                        word_count=len(words),
+                    )
+                )
+                continue
+            results.append(None)
+            pending_indices.append(len(results) - 1)
+            pending_prompts.append(
+                [ChatMessage(role="user", content=build_summarization_prompt(text))]
+            )
+        if pending_prompts:
+            completions = complete_many(self.model, pending_prompts)
+            for index, completion in zip(pending_indices, completions):
+                summary = self._enforce_budget(completion.text)
+                results[index] = SummaryResult(
+                    text=summary,
+                    input_tokens=DEFAULT_TOKENIZER.count(diagnostic_texts[index]),
+                    summary_tokens=DEFAULT_TOKENIZER.count(summary),
+                    word_count=len(summary.split()),
+                )
+        return results  # type: ignore[return-value]
 
     def _enforce_budget(self, text: str) -> str:
         words = text.split()

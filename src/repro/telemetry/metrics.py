@@ -73,11 +73,17 @@ class MetricSeries:
         return MetricPoint(self._timestamps[-1], self._values[-1])
 
     def mean(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
-        """Mean value over the window (0.0 for an empty window)."""
+        """Mean value over the window (0.0 for an empty window).
+
+        The result is clamped into ``[minimum, maximum]``: floating-point
+        rounding of the sum/division can otherwise push the mean one ulp
+        outside the range of the observed values.
+        """
         values = self.values(start, end)
         if not values:
             return 0.0
-        return sum(values) / len(values)
+        mean = math.fsum(values) / len(values)
+        return min(max(mean, min(values)), max(values))
 
     def maximum(
         self, start: Optional[float] = None, end: Optional[float] = None

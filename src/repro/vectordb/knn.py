@@ -4,12 +4,20 @@ Implements the paper's neighbour selection (Section 4.2.2): score every
 historical incident with the combined Euclidean/temporal similarity, then
 "select the top K incidents from different categories as demonstrations for
 the LLM", keeping the demonstration set diverse.
+
+Two entry points share one selection algorithm:
+
+* :meth:`NearestNeighborSearch.search` — one query (delegates to the batch
+  path with a single-row batch, so both paths stay behaviourally identical);
+* :meth:`NearestNeighborSearch.search_many` — a whole batch of queries
+  scored in one matrix–matrix operation, with ``argpartition`` top-k
+  selection instead of materialising a ``Neighbor`` object per stored entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -42,21 +50,167 @@ class NearestNeighborSearch:
         self.store = store
         self.config = config or SimilarityConfig()
 
+    # ---------------------------------------------------------------- scoring
     def score_all(self, query_vector: np.ndarray, query_day: float) -> np.ndarray:
-        """Similarity of the query against every stored incident (vectorised)."""
+        """Similarity of one query against every stored incident (vectorised)."""
+        return self.score_many(
+            np.asarray(query_vector, dtype=np.float64).reshape(1, -1),
+            np.array([query_day], dtype=np.float64),
+        )[0]
+
+    def score_many(self, query_matrix: np.ndarray, query_days: np.ndarray) -> np.ndarray:
+        """Similarities of a whole query batch against the stored history.
+
+        One matrix–matrix product scores every (query, entry) pair: squared
+        Euclidean distances come from the Gram expansion
+        ``|q|^2 + |m|^2 - 2 q.m`` and the temporal decay is broadcast over
+        the day gap matrix.
+
+        Args:
+            query_matrix: ``(Q, dim)`` array of query embeddings.
+            query_days: ``(Q,)`` array of query creation days.
+
+        Returns:
+            ``(Q, N)`` array of similarity scores aligned with
+            :meth:`VectorStore.matrix` rows.
+        """
         matrix = self.store.matrix()
+        queries = np.asarray(query_matrix, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValueError("query_matrix must be a 2-D (batch, dim) array")
+        days = np.asarray(query_days, dtype=np.float64).ravel()
+        if days.shape[0] != queries.shape[0]:
+            raise ValueError("query_days must align with query_matrix rows")
         if matrix.shape[0] == 0:
-            return np.zeros(0)
-        query = np.asarray(query_vector, dtype=np.float64).ravel()
-        if query.shape[0] != matrix.shape[1]:
+            return np.zeros((queries.shape[0], 0))
+        if queries.shape[1] != matrix.shape[1]:
             raise ValueError(
-                f"query dimension {query.shape[0]} does not match store dimension "
+                f"query dimension {queries.shape[1]} does not match store dimension "
                 f"{matrix.shape[1]}"
             )
-        distances = np.linalg.norm(matrix - query[None, :], axis=1)
-        decay = np.exp(-self.config.alpha * np.abs(self.store.created_days() - query_day))
-        return (1.0 / (1.0 + distances)) * decay
+        # In-place pipeline: only two (Q, N) buffers are allocated (the Gram
+        # product and the day-gap matrix), which keeps large batches out of
+        # allocator churn on big histories.
+        scores = queries @ matrix.T
+        scores *= -2.0
+        scores += np.einsum("ij,ij->i", queries, queries)[:, None]
+        scores += self.store.squared_norms()[None, :]
+        np.maximum(scores, 0.0, out=scores)  # guard fp cancellation
+        np.sqrt(scores, out=scores)
+        scores += 1.0  # 1 + distance
+        decay = self.store.created_days()[None, :] - days[:, None]
+        np.abs(decay, out=decay)
+        decay *= -self.config.alpha
+        np.exp(decay, out=decay)
+        decay /= scores
+        return decay
 
+    # -------------------------------------------------------------- selection
+    def _select(
+        self,
+        scores: np.ndarray,
+        eligible: np.ndarray,
+        k: int,
+    ) -> List[Neighbor]:
+        """Select the top-k neighbours for one query's score row.
+
+        Scans candidates in descending score order (ties broken by ascending
+        insertion index) using progressively widened ``argpartition``
+        prefixes, so only ``O(k)`` ``Neighbor`` objects are ever built.
+
+        Guarantee: exactly ``min(k, #eligible)`` neighbours are returned.
+        With ``diverse_categories`` enabled, distinct categories are
+        preferred (at most one neighbour per category while categories
+        remain), and the list is then filled with the best remaining
+        incidents regardless of category — exclusions and history cut-offs
+        never silently shrink the result below that size.
+        """
+        entries = self.store._entries  # noqa: SLF001 - intra-module hot path
+        total = eligible.shape[0]
+        if total == 0 or k <= 0:
+            return []
+        eligible_scores = scores[eligible]
+        prefix = min(total, max(2 * k, 16))
+        while True:
+            complete = prefix >= total
+            if complete:
+                order = np.lexsort((eligible, -eligible_scores))
+                candidates = eligible[order]
+            else:
+                top = np.argpartition(-eligible_scores, prefix - 1)[:prefix]
+                order = np.lexsort((eligible[top], -eligible_scores[top]))
+                candidates = eligible[top][order]
+            chosen = self._pick(entries, scores, candidates, k, complete=complete)
+            if chosen is not None:
+                return chosen
+            prefix = min(total, prefix * 4)
+
+    def _pick(
+        self,
+        entries: List[VectorEntry],
+        scores: np.ndarray,
+        ordered_indices: np.ndarray,
+        k: int,
+        complete: bool = False,
+    ) -> Optional[List[Neighbor]]:
+        """One selection pass over an ordered candidate prefix.
+
+        Returns the selected neighbours, or None when the prefix was
+        exhausted before the guarantee could be met (caller widens and
+        retries).  A prefix covering every eligible entry always succeeds.
+        """
+        if not self.config.diverse_categories:
+            if ordered_indices.shape[0] < k and not complete:
+                return None
+            return [
+                Neighbor(entry=entries[int(i)], similarity=float(scores[int(i)]))
+                for i in ordered_indices[:k]
+            ]
+        selected: List[Neighbor] = []
+        seen_categories: Set[str] = set()
+        fillers: List[int] = []
+        for i in ordered_indices:
+            index = int(i)
+            category = entries[index].category
+            if category in seen_categories:
+                fillers.append(index)
+                continue
+            selected.append(Neighbor(entry=entries[index], similarity=float(scores[index])))
+            seen_categories.add(category)
+            if len(selected) >= k:
+                return selected
+        # Fewer distinct categories than k inside the prefix.  Filling with
+        # same-category candidates is only allowed once the prefix covers
+        # every eligible entry: un-scanned candidates beyond it could still
+        # contribute a *new* category, which takes precedence over fillers.
+        if not complete:
+            return None
+        for index in fillers:
+            selected.append(Neighbor(entry=entries[index], similarity=float(scores[index])))
+            if len(selected) >= k:
+                return selected
+        return selected
+
+    def _eligible_indices(
+        self,
+        exclude_ids: Optional[Set[str]],
+        history_before_day: Optional[float],
+    ) -> np.ndarray:
+        """Row indices that pass the exclusion and look-ahead filters."""
+        total = len(self.store)
+        if not exclude_ids and history_before_day is None:
+            return np.arange(total)
+        mask = np.ones(total, dtype=bool)
+        if history_before_day is not None:
+            mask &= self.store.created_days() < history_before_day
+        if exclude_ids:
+            for incident_id in exclude_ids:
+                index = self.store.index_of(incident_id)
+                if index is not None:
+                    mask[index] = False
+        return np.flatnonzero(mask)
+
+    # ------------------------------------------------------------------ search
     def search(
         self,
         query_vector: np.ndarray,
@@ -65,7 +219,7 @@ class NearestNeighborSearch:
         exclude_ids: Optional[set] = None,
         history_before_day: Optional[float] = None,
     ) -> List[Neighbor]:
-        """Return the top-K neighbours.
+        """Return the top-K neighbours for one query.
 
         Args:
             query_vector: Embedding of the incoming incident.
@@ -77,45 +231,90 @@ class NearestNeighborSearch:
                 evaluating on a chronological test split).
 
         Returns:
-            Neighbours in descending similarity order.  With
-            ``diverse_categories`` enabled, at most one neighbour per
-            category is returned, matching the paper's demonstration
-            selection; if fewer categories than K exist, the best remaining
-            incidents fill the list.
+            Neighbours in descending similarity order.  The result always
+            holds exactly ``min(k, eligible)`` entries, where ``eligible``
+            counts the stored incidents surviving ``exclude_ids`` and
+            ``history_before_day``.  With ``diverse_categories`` enabled, at
+            most one neighbour per category is returned while distinct
+            categories remain, and the remaining slots are filled with the
+            best remaining incidents — filters never silently shrink the
+            result below the guarantee.
+        """
+        return self.search_many(
+            np.asarray(query_vector, dtype=np.float64).reshape(1, -1),
+            np.array([query_day], dtype=np.float64),
+            k=k,
+            exclude_ids=[exclude_ids] if exclude_ids is not None else None,
+            history_before_day=history_before_day,
+        )[0]
+
+    def search_many(
+        self,
+        query_matrix: np.ndarray,
+        query_days: Sequence[float],
+        k: Optional[int] = None,
+        exclude_ids: Optional[Sequence[Optional[Set[str]]]] = None,
+        history_before_day: Optional[float] = None,
+    ) -> List[List[Neighbor]]:
+        """Top-K neighbours for every query in a batch.
+
+        All queries are scored against the history in one matrix–matrix
+        operation (:meth:`score_many`); per-query selection then uses
+        ``argpartition`` prefixes so the cost per query is ``O(N + k log k)``
+        without building a ``Neighbor`` per stored entry.
+
+        Args:
+            query_matrix: ``(Q, dim)`` array of query embeddings.
+            query_days: Creation day of each query.
+            k: Number of neighbours per query (defaults to the configured K).
+            exclude_ids: Optional per-query sets of incident ids to skip.
+            history_before_day: Shared look-ahead cut-off for the whole batch.
+
+        Returns:
+            One descending-similarity neighbour list per query, with the same
+            size and diversity guarantees as :meth:`search`.
         """
         k = k or self.config.k
-        exclude_ids = exclude_ids or set()
-        scores = self.score_all(query_vector, query_day)
-        entries = self.store.entries()
-        order = np.argsort(-scores)
-        candidates: List[Neighbor] = []
-        for index in order:
-            entry = entries[int(index)]
-            if entry.incident_id in exclude_ids:
-                continue
-            if history_before_day is not None and entry.created_day >= history_before_day:
-                continue
-            candidates.append(Neighbor(entry=entry, similarity=float(scores[int(index)])))
-
-        if not self.config.diverse_categories:
-            return candidates[:k]
-
-        selected: List[Neighbor] = []
-        seen_categories: set = set()
-        for neighbor in candidates:
-            if neighbor.category in seen_categories:
-                continue
-            selected.append(neighbor)
-            seen_categories.add(neighbor.category)
-            if len(selected) >= k:
-                return selected
-        # Fewer distinct categories than K: fill with the next best incidents.
-        if len(selected) < k:
-            chosen_ids = {n.incident_id for n in selected}
-            for neighbor in candidates:
-                if neighbor.incident_id in chosen_ids:
-                    continue
-                selected.append(neighbor)
-                if len(selected) >= k:
-                    break
-        return selected
+        queries = np.asarray(query_matrix, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValueError("query_matrix must be a 2-D (batch, dim) array")
+        if exclude_ids is not None and len(exclude_ids) != queries.shape[0]:
+            raise ValueError("exclude_ids must align with query_matrix rows")
+        days = np.asarray(query_days, dtype=np.float64).ravel()
+        if queries.shape[0] == 0:
+            return []
+        if len(self.store) == 0:
+            return [[] for _ in range(queries.shape[0])]
+        # Recurring incidents produce identical queries (paper Figure 2); each
+        # distinct (vector, day, effective exclusions) group is scored and
+        # selected once.  Exclusion ids absent from the store cannot change
+        # the result, so they are dropped from the grouping key.
+        group_of: List[int] = []
+        group_rows: List[int] = []
+        group_excludes: List[Optional[Set[str]]] = []
+        group_index: dict = {}
+        for row in range(queries.shape[0]):
+            raw_exclude = exclude_ids[row] if exclude_ids is not None else None
+            effective = (
+                frozenset(
+                    incident_id
+                    for incident_id in raw_exclude
+                    if self.store.index_of(incident_id) is not None
+                )
+                if raw_exclude
+                else frozenset()
+            )
+            key = (queries[row].tobytes(), float(days[row]), effective)
+            index = group_index.get(key)
+            if index is None:
+                index = len(group_rows)
+                group_index[key] = index
+                group_rows.append(row)
+                group_excludes.append(set(effective) if effective else None)
+            group_of.append(index)
+        scores = self.score_many(queries[group_rows], days[group_rows])
+        group_results: List[List[Neighbor]] = []
+        for position, row in enumerate(group_rows):
+            eligible = self._eligible_indices(group_excludes[position], history_before_day)
+            group_results.append(self._select(scores[position], eligible, k))
+        return [list(group_results[group_of[row]]) for row in range(queries.shape[0])]

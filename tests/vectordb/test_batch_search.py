@@ -1,0 +1,262 @@
+"""Tests for the batched search path, the incremental store and persistence.
+
+Covers the guarantees the batch refactor introduced:
+
+* ``search_many`` returns exactly what per-query ``search`` calls return;
+* ``history_before_day`` excludes same-day and later incidents (no
+  look-ahead when replaying chronological splits);
+* with diversity enabled the result is always filled to ``min(k, eligible)``
+  from the remaining candidates — filters never silently shrink it;
+* the store grows incrementally (``add`` / ``add_many``), supports category
+  corrections and ``save``/``load`` round trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vectordb import (
+    NearestNeighborSearch,
+    SimilarityConfig,
+    VectorStore,
+    similarity,
+)
+
+
+def build_store(entries=None):
+    store = VectorStore()
+    rows = entries or [
+        ("a1", [1.0, 0.0, 0.0], 10.0, "A", "a one"),
+        ("a2", [0.9, 0.1, 0.0], 11.0, "A", "a two"),
+        ("b1", [0.0, 1.0, 0.0], 11.5, "B", "b one"),
+        ("b2", [0.1, 0.9, 0.0], 9.0, "B", "b two"),
+        ("c1", [0.0, 0.0, 1.0], 2.0, "C", "c one"),
+    ]
+    for incident_id, vector, day, category, text in rows:
+        store.add(incident_id, np.array(vector), day, category, text=text)
+    return store
+
+
+class TestVectorStoreIncremental:
+    def test_growth_beyond_initial_capacity(self):
+        store = VectorStore()
+        rng = np.random.default_rng(3)
+        vectors = rng.standard_normal((300, 8))
+        for i in range(300):
+            store.add(f"i{i}", vectors[i], float(i), f"cat{i % 7}")
+        assert len(store) == 300
+        assert store.matrix().shape == (300, 8)
+        np.testing.assert_array_equal(store.matrix(), vectors)
+        np.testing.assert_array_equal(store.created_days(), np.arange(300.0))
+        # Entry views must track the latest buffer even after growth.
+        np.testing.assert_array_equal(store.get("i0").vector, vectors[0])
+
+    def test_add_many_matches_sequential_adds(self):
+        rng = np.random.default_rng(5)
+        vectors = rng.standard_normal((40, 6))
+        one = VectorStore()
+        for i in range(40):
+            one.add(f"i{i}", vectors[i], float(i), f"cat{i % 3}", text=f"t{i}")
+        many = VectorStore()
+        many.add_many(
+            incident_ids=[f"i{i}" for i in range(40)],
+            vectors=vectors,
+            created_days=[float(i) for i in range(40)],
+            categories=[f"cat{i % 3}" for i in range(40)],
+            texts=[f"t{i}" for i in range(40)],
+        )
+        np.testing.assert_array_equal(one.matrix(), many.matrix())
+        np.testing.assert_array_equal(one.created_days(), many.created_days())
+        assert [e.incident_id for e in one] == [e.incident_id for e in many]
+        assert [e.category for e in one] == [e.category for e in many]
+
+    def test_add_many_validation(self):
+        store = VectorStore()
+        with pytest.raises(ValueError):
+            store.add_many(["a"], np.zeros((2, 3)), [1.0, 2.0], ["x", "y"])
+        store.add("a", np.zeros(3), 1.0, "x")
+        with pytest.raises(ValueError):
+            store.add_many(["a"], np.zeros((1, 3)), [1.0], ["x"])  # duplicate id
+        with pytest.raises(ValueError):
+            store.add_many(["b"], np.zeros((1, 2)), [1.0], ["x"])  # wrong dim
+        with pytest.raises(ValueError):  # duplicate inside the batch itself
+            store.add_many(["c", "c"], np.zeros((2, 3)), [1.0, 2.0], ["x", "y"])
+        assert len(store) == 1  # failed bulk insert leaves the store untouched
+
+    def test_update_category(self):
+        store = build_store()
+        store.update_category("a1", "Z")
+        assert store.get("a1").category == "Z"
+        assert "Z" in store.categories()
+        with pytest.raises(KeyError):
+            store.update_category("missing", "Z")
+
+    def test_squared_norms_track_additions(self):
+        store = build_store()
+        first = store.squared_norms().copy()
+        np.testing.assert_allclose(
+            first, [np.dot(e.vector, e.vector) for e in store.entries()]
+        )
+        store.add("d1", np.array([2.0, 2.0, 1.0]), 3.0, "D")
+        assert store.squared_norms().shape == (6,)
+        assert store.squared_norms()[-1] == pytest.approx(9.0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = build_store()
+        path = str(tmp_path / "index.npz")
+        store.save(path)
+        loaded = VectorStore.load(path)
+        assert len(loaded) == len(store)
+        np.testing.assert_array_equal(loaded.matrix(), store.matrix())
+        np.testing.assert_array_equal(loaded.created_days(), store.created_days())
+        for entry, original in zip(loaded.entries(), store.entries()):
+            assert entry.incident_id == original.incident_id
+            assert entry.category == original.category
+            assert entry.text == original.text
+        # The loaded index serves searches identically.
+        config = SimilarityConfig(alpha=0.3, k=3)
+        a = NearestNeighborSearch(store, config).search(np.array([1.0, 0.0, 0.0]), 12.0)
+        b = NearestNeighborSearch(loaded, config).search(np.array([1.0, 0.0, 0.0]), 12.0)
+        assert [n.incident_id for n in a] == [n.incident_id for n in b]
+
+
+class TestSearchMany:
+    @pytest.fixture(scope="class")
+    def big_search(self):
+        rng = np.random.default_rng(11)
+        store = VectorStore()
+        vectors = rng.standard_normal((250, 12))
+        store.add_many(
+            incident_ids=[f"i{i}" for i in range(250)],
+            vectors=vectors,
+            created_days=rng.uniform(0.0, 120.0, size=250),
+            categories=[f"cat{i % 17}" for i in range(250)],
+            texts=[f"text {i}" for i in range(250)],
+        )
+        return NearestNeighborSearch(store, SimilarityConfig(alpha=0.3, k=5))
+
+    def _queries(self, dim=12, count=8):
+        rng = np.random.default_rng(29)
+        return rng.standard_normal((count, dim)), rng.uniform(0.0, 120.0, size=count)
+
+    def test_search_many_matches_per_query_search(self, big_search):
+        queries, days = self._queries()
+        batch = big_search.search_many(queries, days)
+        for row in range(queries.shape[0]):
+            single = big_search.search(queries[row], days[row])
+            assert [n.incident_id for n in batch[row]] == [
+                n.incident_id for n in single
+            ]
+            assert [n.similarity for n in batch[row]] == pytest.approx(
+                [n.similarity for n in single]
+            )
+
+    def test_search_many_with_filters_matches_search(self, big_search):
+        queries, days = self._queries(count=5)
+        excludes = [{f"i{row}", f"i{row + 40}"} for row in range(5)]
+        batch = big_search.search_many(
+            queries, days, k=4, exclude_ids=excludes, history_before_day=80.0
+        )
+        for row in range(5):
+            single = big_search.search(
+                queries[row],
+                days[row],
+                k=4,
+                exclude_ids=excludes[row],
+                history_before_day=80.0,
+            )
+            assert [n.incident_id for n in batch[row]] == [
+                n.incident_id for n in single
+            ]
+
+    def test_duplicate_queries_share_results(self, big_search):
+        queries, days = self._queries(count=2)
+        stacked = np.vstack([queries[0], queries[0], queries[1]])
+        stacked_days = np.array([days[0], days[0], days[1]])
+        results = big_search.search_many(stacked, stacked_days)
+        assert [n.incident_id for n in results[0]] == [
+            n.incident_id for n in results[1]
+        ]
+        # Result lists must still be independent objects.
+        results[0].pop()
+        assert len(results[1]) == 5
+
+    def test_scores_match_similarity_formula(self, big_search):
+        queries, days = self._queries(count=3)
+        scores = big_search.score_many(queries, days)
+        entries = big_search.store.entries()
+        for row in range(3):
+            for index in (0, 57, 249):
+                expected = similarity(
+                    queries[row],
+                    entries[index].vector,
+                    days[row],
+                    entries[index].created_day,
+                    alpha=0.3,
+                )
+                assert scores[row, index] == pytest.approx(expected)
+
+    def test_empty_batch_and_empty_store(self, big_search):
+        assert big_search.search_many(np.zeros((0, 12)), np.zeros(0)) == []
+        empty = NearestNeighborSearch(VectorStore())
+        assert empty.search_many(np.ones((2, 4)), np.zeros(2)) == [[], []]
+
+
+class TestLookAheadAndFillGuarantees:
+    def test_history_before_day_excludes_same_day(self):
+        search = NearestNeighborSearch(
+            build_store(), SimilarityConfig(alpha=0.0, k=5, diverse_categories=False)
+        )
+        neighbors = search.search(
+            np.array([1.0, 0.0, 0.0]), query_day=12.0, history_before_day=11.0
+        )
+        ids = {n.incident_id for n in neighbors}
+        # a2 was created exactly on day 11 -> excluded (strictly before).
+        assert ids == {"a1", "b2", "c1"}
+
+    def test_diverse_result_filled_to_min_k_eligible(self):
+        # 5 entries, 3 categories; k=5 with diversity on must return all 5.
+        search = NearestNeighborSearch(
+            build_store(), SimilarityConfig(alpha=0.0, k=5, diverse_categories=True)
+        )
+        neighbors = search.search(np.array([1.0, 0.0, 0.0]), query_day=12.0)
+        assert len(neighbors) == 5
+
+    def test_filters_never_shrink_below_guarantee(self):
+        # Exclusions + cutoff leave 3 eligible entries; k=4 -> exactly 3 back.
+        search = NearestNeighborSearch(
+            build_store(), SimilarityConfig(alpha=0.0, k=4, diverse_categories=True)
+        )
+        neighbors = search.search(
+            np.array([1.0, 0.0, 0.0]),
+            query_day=12.0,
+            exclude_ids={"a1", "b1"},
+            history_before_day=11.2,
+        )
+        assert [n.incident_id for n in neighbors[:1]] == ["a2"]
+        assert len(neighbors) == 3  # a2, b2, c1 — every eligible entry
+
+    def test_fill_prefers_distinct_categories_first(self):
+        search = NearestNeighborSearch(
+            build_store(), SimilarityConfig(alpha=0.0, k=3, diverse_categories=True)
+        )
+        neighbors = search.search(np.array([1.0, 0.0, 0.0]), query_day=12.0)
+        categories = [n.category for n in neighbors]
+        assert len(set(categories)) == 3  # one of each while categories remain
+
+    def test_deep_diversity_scan_beyond_prefix(self):
+        # 60 near-identical entries of one category ranked first, one distant
+        # entry of a second category: diversity must find it even though it
+        # is far outside the initial argpartition prefix.
+        store = VectorStore()
+        rng = np.random.default_rng(2)
+        for i in range(60):
+            store.add(f"x{i}", np.array([1.0, 0.0]) + rng.normal(0, 1e-4, 2), 10.0, "X")
+        store.add("y0", np.array([-1.0, 0.0]), 10.0, "Y")
+        search = NearestNeighborSearch(
+            store, SimilarityConfig(alpha=0.0, k=2, diverse_categories=True)
+        )
+        neighbors = search.search(np.array([1.0, 0.0]), query_day=10.0)
+        assert len(neighbors) == 2
+        assert {n.category for n in neighbors} == {"X", "Y"}
