@@ -1,0 +1,118 @@
+"""Sharded vs. flat retrieval at a 100k-entry incident history.
+
+The flat index scores every stored incident for every query; the sharded
+index partitions the history into time-window shards and prunes temporally
+irrelevant shards with an exact score bound (``exp(-alpha * dt_min)``), so
+a live query — which, like the paper's deployment, arrives near "now" —
+only touches the recent slice of the history.  Both layouts return
+*identical* neighbour lists (asserted below); what this benchmark measures
+is how much of the index each query scans and what that buys in latency.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_retrieval_sharded.py -q -s
+
+Add ``--quick`` for the reduced CI smoke size (20k entries).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.vectordb import FlatVectorIndex, ShardedVectorIndex, SimilarityConfig
+
+#: Full scale (the acceptance target): weekly shards over one year.
+FULL_HISTORY = 100_000
+FULL_WINDOW_DAYS = 7.0
+#: CI smoke scale: fortnight shards keep the per-query shard-visit overhead
+#: well below the flat scan even at the smaller history.
+QUICK_HISTORY = 50_000
+QUICK_WINDOW_DAYS = 14.0
+DURATION_DAYS = 364.0
+#: Live triage batch: queries arrive near the end of the timeline.
+QUERY_BATCH = 32
+QUERY_DAY_RANGE = (350.0, 364.0)
+DIM = 64
+ROUNDS = 3
+
+
+def _build_entries(total: int):
+    rng = np.random.default_rng(2024)
+    vectors = rng.standard_normal((total, DIM))
+    vectors *= 6.0 / np.linalg.norm(vectors, axis=1, keepdims=True)
+    return (
+        [f"INC-{i:06d}" for i in range(total)],
+        vectors,
+        rng.uniform(0.0, DURATION_DAYS, size=total),
+        [f"Category{i % 120}" for i in range(total)],
+    )
+
+
+def _timed_search(index, queries, days, rounds=ROUNDS) -> float:
+    """Best-of-N wall time of one batched search (seconds)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        index.search_many(queries, days)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_sharded_retrieval_speedup(quick_mode):
+    """Sharded retrieval scans < 50% of shards and beats the flat scan."""
+    total = QUICK_HISTORY if quick_mode else FULL_HISTORY
+    window_days = QUICK_WINDOW_DAYS if quick_mode else FULL_WINDOW_DAYS
+    ids, vectors, created_days, categories = _build_entries(total)
+    similarity = SimilarityConfig(alpha=0.3, k=5, diverse_categories=True)
+    flat = FlatVectorIndex(similarity)
+    flat.add_many(ids, vectors, created_days, categories)
+    sharded = ShardedVectorIndex(similarity, window_days=window_days)
+    sharded.add_many(ids, vectors, created_days, categories)
+
+    rng = np.random.default_rng(7)
+    queries = rng.standard_normal((QUERY_BATCH, DIM))
+    queries *= 6.0 / np.linalg.norm(queries, axis=1, keepdims=True)
+    days = rng.uniform(*QUERY_DAY_RANGE, size=QUERY_BATCH)
+
+    # Parity first: layout is a performance choice, never a result choice.
+    flat_results = flat.search_many(queries, days)
+    sharded_results = sharded.search_many(queries, days)
+    for flat_neighbors, sharded_neighbors in zip(flat_results, sharded_results):
+        assert len(flat_neighbors) == similarity.k
+        assert [n.incident_id for n in flat_neighbors] == [
+            n.incident_id for n in sharded_neighbors
+        ]
+
+    flat_seconds = _timed_search(flat, queries, days)
+    sharded_seconds = _timed_search(sharded, queries, days)
+    speedup = flat_seconds / sharded_seconds
+    stats = sharded.stats()
+
+    print()
+    print(
+        f"{'entries':>9} {'shards':>7} {'scanned':>9} {'pruned':>8} "
+        f"{'flat ms':>9} {'sharded ms':>11} {'speedup':>8}"
+    )
+    print(
+        f"{total:>9} {int(stats['shard_count']):>7} "
+        f"{stats['scanned_shard_ratio']:>8.1%} "
+        f"{int(stats['shards_pruned']):>8} "
+        f"{flat_seconds * 1e3:>9.1f} {sharded_seconds * 1e3:>11.1f} "
+        f"{speedup:>7.1f}x"
+    )
+
+    expected_shards = DURATION_DAYS / window_days
+    assert stats["shard_count"] >= expected_shards - 2, (
+        f"expected ~{expected_shards:.0f} time-window shards over one year"
+    )
+    assert stats["scanned_shard_ratio"] < 0.5, (
+        f"sharded retrieval must scan < 50% of shards, "
+        f"scanned {stats['scanned_shard_ratio']:.1%}"
+    )
+    floor = 1.3 if quick_mode else 1.8
+    assert speedup >= floor, (
+        f"sharded retrieval must be >= {floor}x the flat scan at "
+        f"{total} entries, got {speedup:.2f}x"
+    )

@@ -33,6 +33,8 @@ from repro.llm import SimulatedLLM
 from repro.telemetry import TelemetryHub
 
 HISTORY_SIZES = (1_000, 10_000, 50_000)
+#: ``--quick`` (CI smoke) drops the 50k size; the asserted 10k stays.
+QUICK_HISTORY_SIZES = (1_000, 10_000)
 #: Distinct incidents in one replay batch, and how often each recurs.
 DISTINCT_INCIDENTS = 30
 RECURRENCES = 4
@@ -125,12 +127,13 @@ def _throughput(history_size: int) -> tuple:
     return count / sequential_seconds, count / batch_seconds
 
 
-def test_throughput_single_vs_batch():
+def test_throughput_single_vs_batch(quick_mode):
     """Batched diagnosis is >= 3x the sequential loop at a 10k history."""
+    history_sizes = QUICK_HISTORY_SIZES if quick_mode else HISTORY_SIZES
     print()
     print(f"{'history':>10} {'seq inc/s':>12} {'batch inc/s':>12} {'speedup':>9}")
     speedups = {}
-    for history_size in HISTORY_SIZES:
+    for history_size in history_sizes:
         sequential_ips, batch_ips = _throughput(history_size)
         speedups[history_size] = batch_ips / sequential_ips
         print(

@@ -18,6 +18,31 @@ from repro.datagen.splits import chronological_split
 FULL_EVAL = os.environ.get("REPRO_FULL_EVAL", "0") == "1"
 
 
+def pytest_addoption(parser):
+    """``--quick``: shrink the throughput/retrieval benchmarks for CI smoke runs.
+
+    The paper-table benchmarks ignore it; the perf benchmarks
+    (``bench_throughput_batch.py``, ``bench_retrieval_sharded.py``) drop
+    their largest history sizes while keeping every assertion active, so a
+    perf regression still fails loudly in CI.  ``REPRO_BENCH_QUICK=1`` is an
+    equivalent environment switch.
+    """
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run perf benchmarks at reduced history sizes (CI smoke mode)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_mode(request):
+    """True when perf benchmarks should run at reduced scale."""
+    if os.environ.get("REPRO_BENCH_QUICK", "0") == "1":
+        return True
+    return bool(request.config.getoption("--quick", default=False))
+
+
 def corpus_parameters():
     """Corpus size used by the benchmarks (full paper scale when requested)."""
     if FULL_EVAL:

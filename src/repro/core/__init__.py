@@ -1,9 +1,19 @@
-"""Core RCACopilot pipeline: configuration, collection stage, prediction stage."""
+"""Core RCACopilot pipeline: configuration, collection stage, prediction stage,
+and the streaming micro-batch ingestion front."""
 
 from .collection import CollectionOutcome, CollectionStage
-from .config import CollectionConfig, ContextSource, PipelineConfig, PredictionConfig
+from .config import (
+    CollectionConfig,
+    ContextSource,
+    IndexConfig,
+    IngestConfig,
+    PipelineConfig,
+    PredictionConfig,
+)
 from .errors import (
     CollectionError,
+    IngestError,
+    IngestQueueFull,
     NoHandlerError,
     NotFittedError,
     PredictionError,
@@ -11,15 +21,20 @@ from .errors import (
 )
 from .pipeline import DiagnosisReport, RCACopilot
 from .prediction import CacheStats, PredictionOutcome, PredictionStage
+from .streaming import IngestStats, StreamIngestor
 
 __all__ = [
     "CollectionOutcome",
     "CollectionStage",
     "CollectionConfig",
     "ContextSource",
+    "IndexConfig",
+    "IngestConfig",
     "PipelineConfig",
     "PredictionConfig",
     "CollectionError",
+    "IngestError",
+    "IngestQueueFull",
     "NoHandlerError",
     "NotFittedError",
     "PredictionError",
@@ -29,4 +44,6 @@ __all__ = [
     "CacheStats",
     "PredictionOutcome",
     "PredictionStage",
+    "IngestStats",
+    "StreamIngestor",
 ]

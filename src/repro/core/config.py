@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-from ..vectordb import DEFAULT_ALPHA, DEFAULT_K
+from ..vectordb import DEFAULT_ALPHA, DEFAULT_K, DEFAULT_WINDOW_DAYS
 
 
 class ContextSource(str, Enum):
@@ -60,11 +60,66 @@ class CollectionConfig:
 
 
 @dataclass
+class IndexConfig:
+    """Knobs of the retrieval index behind the prediction stage.
+
+    The index backend is pluggable (the :class:`~repro.vectordb.VectorIndex`
+    protocol): ``flat`` keeps the whole history in one matrix, ``sharded``
+    partitions it into time-window shards and prunes temporally irrelevant
+    shards per query with an exact score bound.  Both return identical
+    neighbours; ``sharded`` scales retrieval to multi-100k histories.
+    """
+
+    #: Index layout: ``flat`` (single matrix) or ``sharded`` (time windows).
+    backend: str = "flat"
+    #: Width of each time-window shard, in days (sharded backend only).
+    window_days: float = DEFAULT_WINDOW_DAYS
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("flat", "sharded"):
+            raise ValueError(
+                f"unknown index backend: {self.backend!r} (expected 'flat' or 'sharded')"
+            )
+        if self.window_days <= 0:
+            raise ValueError("window_days must be positive")
+
+
+@dataclass
+class IngestConfig:
+    """Knobs of the streaming micro-batch ingestion front.
+
+    A continuous alert stream is grouped into ``observe_many`` batches
+    automatically: a batch is flushed as soon as it reaches ``max_batch``
+    alerts or the oldest queued alert has waited ``max_latency_seconds``.
+    """
+
+    #: Flush as soon as this many alerts are queued.
+    max_batch: int = 16
+    #: Flush when the oldest queued alert has waited this long, in seconds.
+    max_latency_seconds: float = 0.05
+    #: Bounded queue capacity; submissions beyond it block or fail.
+    queue_capacity: int = 1024
+    #: When the queue is full: block the submitter (True, backpressure) or
+    #: raise :class:`~repro.core.errors.IngestQueueFull` (False, load shed).
+    block_when_full: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_latency_seconds <= 0:
+            raise ValueError("max_latency_seconds must be positive")
+        if self.queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+
+
+@dataclass
 class PipelineConfig:
     """Top-level configuration of the on-call system."""
 
     collection: CollectionConfig = field(default_factory=CollectionConfig)
     prediction: PredictionConfig = field(default_factory=PredictionConfig)
+    index: IndexConfig = field(default_factory=IndexConfig)
+    ingest: IngestConfig = field(default_factory=IngestConfig)
     #: Embedding backend: ``fasttext`` (paper default) or ``hashed`` (the
     #: GPT-4 Embed. variant stand-in).
     embedding_backend: str = "fasttext"

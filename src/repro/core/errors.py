@@ -21,3 +21,11 @@ class PredictionError(RCACopilotError):
 
 class NotFittedError(PredictionError):
     """Raised when prediction is attempted before indexing historical incidents."""
+
+
+class IngestError(RCACopilotError):
+    """Raised when the streaming ingestion front fails."""
+
+
+class IngestQueueFull(IngestError):
+    """Raised when a non-blocking submit hits the bounded ingest queue's cap."""

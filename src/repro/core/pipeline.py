@@ -7,9 +7,11 @@ Wires the two stages together behind one object:
 * ``diagnose(incident)`` — the same starting from an already-parsed incident
   (used when replaying historical corpora);
 * ``index_history(store)`` — build/refresh the embedding index of labelled
-  historical incidents;
+  historical incidents (flat or time-window sharded, per ``IndexConfig``);
 * ``record_feedback(...)`` — fold the OCE-confirmed label back into the
-  history, the continuous-improvement loop the paper deploys.
+  history, the continuous-improvement loop the paper deploys;
+* ``stream()`` — a :class:`~repro.core.streaming.StreamIngestor` that
+  micro-batches a continuous alert stream into ``observe_many`` calls.
 """
 
 from __future__ import annotations
@@ -24,8 +26,9 @@ from ..llm import ChatModel, SimulatedLLM
 from ..monitors import Alert
 from ..telemetry import TelemetryHub
 from .collection import CollectionOutcome, CollectionStage
-from .config import PipelineConfig
+from .config import IngestConfig, PipelineConfig
 from .prediction import PredictionOutcome, PredictionStage
+from .streaming import StreamIngestor
 
 
 @dataclass
@@ -87,6 +90,7 @@ class RCACopilot:
             model=self.model,
             config=self.config.prediction,
             embedding_backend=self.config.embedding_backend,
+            index_config=self.config.index,
         )
         self.history = IncidentStore()
         self._indexed = False
@@ -118,6 +122,16 @@ class RCACopilot:
             self.prediction.update_category(stored.incident_id, confirmed_category)
         elif stored is not None:
             self.prediction.add_to_index(stored)
+
+    # ---------------------------------------------------------------- streaming
+    def stream(self, config: Optional[IngestConfig] = None) -> StreamIngestor:
+        """A micro-batching ingestion front over this copilot.
+
+        The returned :class:`StreamIngestor` groups a continuous alert
+        stream into ``observe_many`` batches automatically (bounded queue,
+        max-batch/max-latency flush); see ``examples/streaming_triage.py``.
+        """
+        return StreamIngestor(self, config or self.config.ingest)
 
     # ---------------------------------------------------------------- diagnose
     def observe(self, alert: Alert) -> DiagnosisReport:
@@ -156,7 +170,9 @@ class RCACopilot:
         if self._indexed:
             predictions = list(self.prediction.predict_many(incidents))
         elapsed = (time.perf_counter() - started) / len(incidents)
-        self.prediction.export_cache_metrics(self.hub, timestamp=time.time())
+        now = time.time()
+        self.prediction.export_cache_metrics(self.hub, timestamp=now)
+        self.prediction.export_index_metrics(self.hub, timestamp=now)
         return [
             DiagnosisReport(
                 incident=incident,

@@ -45,8 +45,8 @@ from ..llm import (
     SimulatedLLM,
 )
 from ..telemetry import TelemetryHub
-from ..vectordb import NearestNeighborSearch, SimilarityConfig, VectorStore
-from .config import ContextSource, PredictionConfig
+from ..vectordb import SimilarityConfig, VectorIndex, build_index
+from .config import ContextSource, IndexConfig, PredictionConfig
 from .errors import NotFittedError
 
 
@@ -99,9 +99,11 @@ class PredictionStage:
         config: Optional[PredictionConfig] = None,
         embedding_backend: str = "fasttext",
         embedder=None,
+        index_config: Optional[IndexConfig] = None,
     ) -> None:
         self.model = model or SimulatedLLM()
         self.config = config or PredictionConfig()
+        self.index_config = index_config or IndexConfig()
         self.summarizer = DiagnosticSummarizer(
             self.model,
             min_words=self.config.summary_min_words,
@@ -116,12 +118,22 @@ class PredictionStage:
             self.embedder = FastTextEmbedder(FastTextConfig())
         else:
             raise ValueError(f"unknown embedding backend: {embedding_backend!r}")
-        self.vector_store: Optional[VectorStore] = None
-        self.search: Optional[NearestNeighborSearch] = None
+        self.index: Optional[VectorIndex] = None
         self.cache_stats = CacheStats()
         self._summaries: Dict[str, str] = {}
         self._summary_cache: Dict[str, str] = {}
         self._embedding_cache: Dict[str, np.ndarray] = {}
+
+    @property
+    def vector_store(self) -> Optional[VectorIndex]:
+        """Backward-compatible alias for the retrieval index.
+
+        Pre-protocol callers reached for ``stage.vector_store`` to test
+        membership, fetch entries or count the history; the
+        :class:`~repro.vectordb.VectorIndex` protocol supports all of that
+        regardless of the configured backend.
+        """
+        return self.index
 
     # ------------------------------------------------------------------ caches
     def _embed_texts(self, texts: Sequence[str]) -> np.ndarray:
@@ -227,6 +239,24 @@ class PredictionStage:
                 unit="count",
             )
 
+    def export_index_metrics(self, hub: TelemetryHub, timestamp: float) -> None:
+        """Emit the retrieval index's layout/scan statistics as telemetry.
+
+        Covers shard counts and sizes plus the scanned-shard/entry ratios, so
+        a deployment can watch how much of the history each query actually
+        touches as the index grows.
+        """
+        if self.index is None:
+            return
+        hub.emit_metrics(
+            {
+                f"rcacopilot.index.{name}": value
+                for name, value in self.index.stats().items()
+            },
+            machine="prediction-stage",
+            timestamp=timestamp,
+        )
+
     # ------------------------------------------------------------------ index
     def index_history(self, history: IncidentStore) -> None:
         """Fit the embedder and index the labelled historical incidents.
@@ -238,8 +268,11 @@ class PredictionStage:
         summarized information as part of demonstrations").
 
         The whole history is embedded in one ``embed_many`` call and bulk
-        inserted with :meth:`VectorStore.add_many`; summaries go through the
-        batched summarizer, warming the content caches for the live stream.
+        inserted through the :class:`~repro.vectordb.VectorIndex` protocol;
+        summaries go through the batched summarizer, warming the content
+        caches for the live stream.  The index backend (flat single matrix
+        or time-window sharded) comes from :class:`IndexConfig` and does not
+        change retrieval results.
         """
         labelled = history.labelled()
         if not labelled:
@@ -251,25 +284,25 @@ class PredictionStage:
         self._embedding_cache.clear()
         self._warm_summaries(labelled)
         vectors = self._embed_texts(texts)
-        self.vector_store = VectorStore()
+        self.index = build_index(
+            self.index_config.backend,
+            similarity=SimilarityConfig(
+                alpha=self.config.alpha,
+                k=self.config.k,
+                diverse_categories=self.config.diverse_categories,
+            ),
+            window_days=self.index_config.window_days,
+        )
         self._summaries = {}
         summaries = [self._summary_for(incident) for incident in labelled]
         for incident, summary in zip(labelled, summaries):
             self._summaries[incident.incident_id] = summary
-        self.vector_store.add_many(
+        self.index.add_many(
             incident_ids=[incident.incident_id for incident in labelled],
             vectors=vectors,
             created_days=[incident.created_day for incident in labelled],
             categories=[incident.category or "" for incident in labelled],
             texts=summaries,
-        )
-        self.search = NearestNeighborSearch(
-            self.vector_store,
-            SimilarityConfig(
-                alpha=self.config.alpha,
-                k=self.config.k,
-                diverse_categories=self.config.diverse_categories,
-            ),
         )
 
     def add_to_index(self, incident: Incident) -> None:
@@ -280,17 +313,17 @@ class PredictionStage:
         incident's category, it becomes a retrievable neighbour for future
         incidents without re-fitting the embedder.
         """
-        if self.vector_store is None or self.search is None:
+        if self.index is None:
             raise NotFittedError("index_history must be called before add_to_index")
         if not incident.is_labelled():
             raise ValueError("only labelled incidents can be added to the index")
-        if incident.incident_id in self.vector_store:
+        if incident.incident_id in self.index:
             return
         text = incident.diagnostic_info() or incident.alert_info()
         vector = self._embed_texts([text])[0]
         summary = self._summary_for(incident)
         self._summaries[incident.incident_id] = summary
-        self.vector_store.add(
+        self.index.add(
             incident_id=incident.incident_id,
             vector=vector,
             created_day=incident.created_day,
@@ -299,10 +332,15 @@ class PredictionStage:
         )
 
     def update_category(self, incident_id: str, category: str) -> None:
-        """Correct the indexed category of an incident after OCE feedback."""
-        if self.vector_store is None:
+        """Correct the indexed category of an incident after OCE feedback.
+
+        Raises:
+            KeyError: with the offending id, when the incident was never
+                indexed (whichever index backend is configured).
+        """
+        if self.index is None:
             raise NotFittedError("index_history must be called before update_category")
-        self.vector_store.update_category(incident_id, category)
+        self.index.update_category(incident_id, category)
 
     # ---------------------------------------------------------------- predict
     def build_context(self, incident: Incident) -> str:
@@ -332,9 +370,12 @@ class PredictionStage:
         """Retrieve neighbour demonstrations for a whole batch of incidents.
 
         All queries are embedded in one pass (through the embedding cache)
-        and scored against the index in one matrix–matrix operation.
+        and scored against the retrieval index through the
+        :class:`~repro.vectordb.VectorIndex` protocol — one matrix–matrix
+        pass on the flat backend, per-shard passes over eligible shards on
+        the sharded backend, identical neighbours either way.
         """
-        if self.search is None or self.vector_store is None:
+        if self.index is None:
             raise NotFittedError("index_history must be called before retrieval")
         if not incidents:
             return []
@@ -342,7 +383,7 @@ class PredictionStage:
             incident.diagnostic_info() or incident.alert_info() for incident in incidents
         ]
         vectors = self._embed_texts(texts)
-        neighbor_lists = self.search.search_many(
+        neighbor_lists = self.index.search_many(
             vectors,
             np.array([incident.created_day for incident in incidents]),
             k=k or self.config.k,

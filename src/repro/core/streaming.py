@@ -1,0 +1,278 @@
+"""Streaming micro-batch ingestion front for the always-on deployment.
+
+``RCACopilot.observe_many`` batches alerts the *caller* has already
+collected; a production deployment instead receives a continuous alert
+stream.  :class:`StreamIngestor` closes that gap: alerts are submitted into
+a bounded queue and grouped into ``observe_many`` micro-batches
+automatically — a batch flushes as soon as it reaches
+:attr:`~repro.core.config.IngestConfig.max_batch` alerts or the oldest
+queued alert has waited
+:attr:`~repro.core.config.IngestConfig.max_latency_seconds`.  Batching is
+what makes the triage engine fast (one matrix–matrix retrieval pass, one
+deduplicated LLM batch), and the latency bound keeps a quiet stream from
+waiting forever.
+
+Two driving modes share all of the batching logic:
+
+* **background** — ``start()`` spawns a daemon worker that drains the queue
+  continuously; ``submit()`` returns a :class:`concurrent.futures.Future`
+  resolving to the alert's :class:`~repro.core.pipeline.DiagnosisReport`;
+* **manual** — without a worker, ``flush()`` synchronously processes
+  whatever is queued (deterministic, used by tests and replay tooling).
+
+OCE feedback can be folded in mid-stream through
+:meth:`StreamIngestor.record_feedback`, which serializes with batch
+processing so the updated index is visible to the very next micro-batch.
+Queue depth and flush statistics are exported through the telemetry hub.
+
+Threading contract: the ingestor serializes *its own* access to the
+copilot (batches and mid-stream feedback never interleave), and
+``submit``/``stats`` are safe from any thread.  What it cannot serialize
+is activity it never sees: driving the same copilot directly
+(``observe``/``diagnose``) or writing into the same ``TelemetryHub`` from
+another thread while the worker is flushing races the pipeline's
+single-threaded stores.  Route all triage through the ingestor while it
+runs, and generate/collect alerts before starting the worker (or in the
+manual ``flush()`` mode) when the producer shares the hub — as
+``examples/streaming_triage.py`` does.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..incidents import Incident
+from ..monitors import Alert
+from .config import IngestConfig
+from .errors import IngestQueueFull
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .pipeline import DiagnosisReport, RCACopilot
+
+
+@dataclass
+class IngestStats:
+    """Counters describing the ingestion front's behaviour so far."""
+
+    submitted: int = 0
+    processed: int = 0
+    batches: int = 0
+    max_queue_depth: int = 0
+    last_flush_size: int = 0
+    flush_reasons: Dict[str, int] = field(
+        default_factory=lambda: {"size": 0, "latency": 0, "manual": 0}
+    )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counters as a flat metric mapping (suffix -> value)."""
+        flat = {
+            "submitted": float(self.submitted),
+            "processed": float(self.processed),
+            "batches": float(self.batches),
+            "max_queue_depth": float(self.max_queue_depth),
+            "last_flush_size": float(self.last_flush_size),
+        }
+        for reason, count in self.flush_reasons.items():
+            flat[f"flush_reason_{reason}"] = float(count)
+        return flat
+
+
+class StreamIngestor:
+    """Bounded queue + micro-batching window in front of ``observe_many``."""
+
+    def __init__(
+        self,
+        copilot: "RCACopilot",
+        config: Optional[IngestConfig] = None,
+    ) -> None:
+        self.copilot = copilot
+        self.config = config or getattr(copilot.config, "ingest", None) or IngestConfig()
+        self.hub = copilot.hub
+        self._queue: "queue.Queue[Tuple[Alert, Future]]" = queue.Queue(
+            maxsize=self.config.queue_capacity
+        )
+        #: Serializes batch processing against mid-stream feedback so an
+        #: index update is either fully visible to a micro-batch or not at
+        #: all — never interleaved with it.
+        self._lock = threading.Lock()
+        #: Guards the IngestStats counters, which are mutated from producer
+        #: threads (submit) and the worker thread (_process) concurrently.
+        #: Separate from ``_lock`` so submitters never wait on a running
+        #: batch just to bump a counter.
+        self._stats_lock = threading.Lock()
+        self._worker: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._ingest_stats = IngestStats()
+
+    # ------------------------------------------------------------------ submit
+    def submit(self, alert: Alert) -> "Future[DiagnosisReport]":
+        """Queue one alert; the future resolves when its micro-batch flushes.
+
+        With ``block_when_full`` (the default) a full queue applies
+        backpressure by blocking the submitter; otherwise
+        :class:`IngestQueueFull` is raised so the caller can shed load.
+        """
+        future: "Future[DiagnosisReport]" = Future()
+        item = (alert, future)
+        if self.config.block_when_full:
+            self._queue.put(item)
+        else:
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                raise IngestQueueFull(
+                    f"ingest queue full ({self.config.queue_capacity} alerts queued)"
+                ) from None
+        with self._stats_lock:
+            self._ingest_stats.submitted += 1
+            self._ingest_stats.max_queue_depth = max(
+                self._ingest_stats.max_queue_depth, self._queue.qsize()
+            )
+        return future
+
+    def submit_many(self, alerts: Sequence[Alert]) -> List["Future[DiagnosisReport]"]:
+        """Queue a burst of alerts, one future per alert."""
+        return [self.submit(alert) for alert in alerts]
+
+    # -------------------------------------------------------------- background
+    def start(self) -> "StreamIngestor":
+        """Spawn the background worker draining the queue continuously."""
+        if self._worker is not None and self._worker.is_alive():
+            return self
+        self._stopping.clear()
+        self._worker = threading.Thread(
+            target=self._run, name="rcacopilot-stream-ingestor", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self, flush: bool = True) -> None:
+        """Stop the worker; by default flush whatever is still queued."""
+        self._stopping.set()
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+        if flush:
+            self.flush()
+
+    def __enter__(self) -> "StreamIngestor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        """Worker loop: gather a micro-batch, process, repeat."""
+        poll_seconds = min(self.config.max_latency_seconds, 0.05)
+        while True:
+            try:
+                first = self._queue.get(timeout=poll_seconds)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.config.max_latency_seconds
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            reason = "size" if len(batch) >= self.config.max_batch else "latency"
+            self._process(batch, reason)
+
+    # ------------------------------------------------------------------ manual
+    def flush(self) -> List["DiagnosisReport"]:
+        """Synchronously process everything queued right now (manual mode)."""
+        batch: List[Tuple[Alert, Future]] = []
+        while True:
+            try:
+                batch.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        if not batch:
+            return []
+        reports: List["DiagnosisReport"] = []
+        for start in range(0, len(batch), self.config.max_batch):
+            reports.extend(
+                self._process(batch[start : start + self.config.max_batch], "manual")
+            )
+        return reports
+
+    # ----------------------------------------------------------------- process
+    def _process(
+        self, items: List[Tuple[Alert, Future]], reason: str
+    ) -> List["DiagnosisReport"]:
+        """Diagnose one micro-batch and resolve its futures."""
+        # Transition every future to RUNNING first: a future whose caller
+        # cancelled it while queued is dropped from the batch, and the ones
+        # that remain can no longer be cancelled, so resolving them below
+        # cannot raise InvalidStateError and kill the worker.
+        items = [
+            item for item in items if item[1].set_running_or_notify_cancel()
+        ]
+        if not items:
+            return []
+        alerts = [alert for alert, _ in items]
+        try:
+            with self._lock:
+                reports = self.copilot.observe_many(alerts)
+        except Exception as exc:  # noqa: BLE001 - failures flow to the futures
+            for _, future in items:
+                future.set_exception(exc)
+            return []
+        for (_, future), report in zip(items, reports):
+            future.set_result(report)
+        stats = self._ingest_stats
+        with self._stats_lock:
+            stats.processed += len(items)
+            stats.batches += 1
+            stats.last_flush_size = len(items)
+            stats.flush_reasons[reason] = stats.flush_reasons.get(reason, 0) + 1
+            exported = stats.as_dict()
+        self.hub.emit_metrics(
+            {
+                "rcacopilot.ingest.queue_depth": float(self._queue.qsize()),
+                "rcacopilot.ingest.flush_size": float(len(items)),
+                **{
+                    f"rcacopilot.ingest.{suffix}": value
+                    for suffix, value in exported.items()
+                },
+            },
+            machine="stream-ingestor",
+            timestamp=time.time(),
+        )
+        return reports
+
+    # ---------------------------------------------------------------- feedback
+    def record_feedback(self, incident: Incident, confirmed_category: str) -> None:
+        """Fold OCE feedback into the live index, serialized with the stream.
+
+        Takes the same lock as batch processing, so the correction is
+        guaranteed to be visible to the next micro-batch (on whichever index
+        backend is configured) and never lands mid-batch.
+        """
+        with self._lock:
+            self.copilot.record_feedback(incident, confirmed_category)
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> IngestStats:
+        """A consistent snapshot (copy) of the ingestion counters."""
+        with self._stats_lock:
+            return replace(
+                self._ingest_stats,
+                flush_reasons=dict(self._ingest_stats.flush_reasons),
+            )
+
+    @property
+    def queue_depth(self) -> int:
+        """Alerts currently waiting in the bounded queue."""
+        return self._queue.qsize()

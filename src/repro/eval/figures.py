@@ -14,7 +14,7 @@ from ..incidents import (
     interval_histogram,
 )
 from ..llm import SimulatedLLM
-from ..vectordb import NearestNeighborSearch, SimilarityConfig
+from ..vectordb import SimilarityConfig
 from .metrics import f1_report
 from .reporting import render_bar_chart, render_matrix
 
@@ -128,17 +128,18 @@ def figure12_k_alpha_sweep(
     if stage is None:
         stage = PredictionStage(model=SimulatedLLM(), config=PredictionConfig())
         stage.index_history(train)
-    base_store = copy.deepcopy(stage.vector_store)
+    base_index = copy.deepcopy(stage.index)
     base_summaries = dict(stage._summaries)  # noqa: SLF001 - intra-package reuse
     result = Figure12Result(k_values=list(k_values), alpha_values=list(alpha_values))
     labelled_test = test.labelled()
     for k in k_values:
         for alpha in alpha_values:
-            stage.vector_store = copy.deepcopy(base_store)
+            stage.index = copy.deepcopy(base_index)
             stage._summaries = dict(base_summaries)  # noqa: SLF001
-            stage.search = NearestNeighborSearch(
-                stage.vector_store,
-                SimilarityConfig(alpha=alpha, k=k, diverse_categories=True),
+            # The retrieval protocol carries its own similarity config, so
+            # re-parameterizing the sweep works on any index backend.
+            stage.index.similarity = SimilarityConfig(
+                alpha=alpha, k=k, diverse_categories=True
             )
             stage.config.k = k
             stage.config.alpha = alpha

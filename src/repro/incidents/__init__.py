@@ -17,7 +17,7 @@ from .recurrence import (
     interval_histogram,
     recurrence_intervals_days,
 )
-from .store import IncidentStore
+from .store import IncidentStore, shard_key
 
 __all__ = [
     "IncidentLifecycle",
@@ -37,4 +37,5 @@ __all__ = [
     "interval_histogram",
     "recurrence_intervals_days",
     "IncidentStore",
+    "shard_key",
 ]

@@ -9,9 +9,24 @@ the evaluation needs chronological train/test splits.  This store is the
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .models import Incident
+
+
+def shard_key(incident: Incident, window_days: float) -> int:
+    """Retrieval shard key of an incident: its creation-day time window.
+
+    The same bucketing the sharded vector index uses — kept formula-
+    identical to :func:`repro.vectordb.time_bucket` (asserted in the
+    retrieval tests) but computed locally so the incident layer stays free
+    of the vector-database dependency.  Lets capacity planning and replay
+    tooling reason about shard placement without touching embeddings.
+    """
+    if window_days <= 0:
+        raise ValueError("window_days must be positive")
+    return int(math.floor(incident.created_day / window_days))
 
 
 class IncidentStore:
@@ -115,6 +130,19 @@ class IncidentStore:
             for category, ids in self._by_category.items()
             if ids
         }
+
+    def shard_counts(self, window_days: float) -> Dict[int, int]:
+        """Incidents per retrieval time-window shard (sorted by shard key).
+
+        Previews the shard layout a
+        :class:`~repro.vectordb.ShardedVectorIndex` would build from this
+        history — useful for picking ``window_days`` before indexing.
+        """
+        counts: Dict[int, int] = {}
+        for incident in self:
+            key = shard_key(incident, window_days)
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
 
     # ------------------------------------------------------------------ splits
     def chronological_split(

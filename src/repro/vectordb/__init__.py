@@ -1,6 +1,20 @@
-"""Vector database: embedding store, similarity formula and KNN search."""
+"""Vector database: embedding store, similarity formula and the retrieval layer.
 
-from .knn import NearestNeighborSearch, Neighbor
+Retrieval is pluggable behind the :class:`VectorIndex` protocol: the flat
+single-matrix index (:class:`FlatVectorIndex`) and the time-window sharded
+index (:class:`ShardedVectorIndex`) return identical neighbours; the sharded
+layout additionally prunes temporally irrelevant shards with an exact score
+bound and persists shards independently.
+"""
+
+from .index import (
+    FlatVectorIndex,
+    VectorIndex,
+    build_index,
+    load_index,
+)
+from .knn import NearestNeighborSearch, Neighbor, select_complete_order
+from .sharded import DEFAULT_WINDOW_DAYS, ShardedVectorIndex, time_bucket
 from .similarity import (
     DEFAULT_ALPHA,
     DEFAULT_K,
@@ -12,8 +26,16 @@ from .similarity import (
 from .store import VectorEntry, VectorStore
 
 __all__ = [
+    "FlatVectorIndex",
+    "VectorIndex",
+    "build_index",
+    "load_index",
     "NearestNeighborSearch",
     "Neighbor",
+    "select_complete_order",
+    "DEFAULT_WINDOW_DAYS",
+    "ShardedVectorIndex",
+    "time_bucket",
     "DEFAULT_ALPHA",
     "DEFAULT_K",
     "SimilarityConfig",

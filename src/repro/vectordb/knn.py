@@ -17,7 +17,7 @@ Two entry points share one selection algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -43,12 +43,56 @@ class Neighbor:
         return self.entry.incident_id
 
 
+def select_complete_order(categories: Iterable[str], k: int, diverse: bool) -> List[int]:
+    """Select positions from a *complete*, descending-ordered candidate list.
+
+    ``categories`` yields the category of each candidate, with candidates
+    already sorted by descending score (ties broken by ascending insertion
+    order).  This is the one selection algorithm both index layouts share —
+    :meth:`NearestNeighborSearch._pick` delegates its complete-prefix path
+    here and the sharded index runs it over merged per-shard candidates —
+    so flat and sharded retrieval cannot drift apart:
+
+    * ``diverse=False``: the first ``k`` positions;
+    * ``diverse=True``: one candidate per distinct category while categories
+      remain, then the best remaining candidates regardless of category,
+      always yielding ``min(k, #candidates)`` positions.
+    """
+    if k <= 0:
+        return []
+    selected: List[int] = []
+    if not diverse:
+        for position, _ in enumerate(categories):
+            selected.append(position)
+            if len(selected) >= k:
+                break
+        return selected
+    seen: Set[str] = set()
+    fillers: List[int] = []
+    for position, category in enumerate(categories):
+        if category in seen:
+            fillers.append(position)
+            continue
+        selected.append(position)
+        seen.add(category)
+        if len(selected) >= k:
+            return selected
+    for position in fillers:
+        selected.append(position)
+        if len(selected) >= k:
+            return selected
+    return selected
+
+
 class NearestNeighborSearch:
     """Brute-force scored search with optional per-category diversity."""
 
     def __init__(self, store: VectorStore, config: Optional[SimilarityConfig] = None) -> None:
         self.store = store
         self.config = config or SimilarityConfig()
+        #: Distinct query groups actually scored so far (in-batch duplicates
+        #: share one scoring pass) — the basis for honest scan telemetry.
+        self.scored_groups = 0
 
     # ---------------------------------------------------------------- scoring
     def score_all(self, query_vector: np.ndarray, query_day: float) -> np.ndarray:
@@ -138,6 +182,15 @@ class NearestNeighborSearch:
                 candidates = eligible[order]
             else:
                 top = np.argpartition(-eligible_scores, prefix - 1)[:prefix]
+                # argpartition breaks score ties arbitrarily; include every
+                # entry tied with the boundary score so the scanned prefix is
+                # an exact prefix of the global (-score, insertion) order —
+                # deterministic and independent of the index layout.
+                boundary = eligible_scores[top].min()
+                tied_total = int((eligible_scores == boundary).sum())
+                tied_in_top = int((eligible_scores[top] == boundary).sum())
+                if tied_total > tied_in_top:
+                    top = np.flatnonzero(eligible_scores >= boundary)
                 order = np.lexsort((eligible[top], -eligible_scores[top]))
                 candidates = eligible[top][order]
             chosen = self._pick(entries, scores, candidates, k, complete=complete)
@@ -157,10 +210,25 @@ class NearestNeighborSearch:
 
         Returns the selected neighbours, or None when the prefix was
         exhausted before the guarantee could be met (caller widens and
-        retries).  A prefix covering every eligible entry always succeeds.
+        retries).  A complete prefix delegates to
+        :func:`select_complete_order` — the single selection algorithm every
+        index layout shares — and always succeeds.
         """
+        if complete:
+            picks = select_complete_order(
+                (entries[int(i)].category for i in ordered_indices),
+                k,
+                self.config.diverse_categories,
+            )
+            return [
+                Neighbor(
+                    entry=entries[int(ordered_indices[position])],
+                    similarity=float(scores[int(ordered_indices[position])]),
+                )
+                for position in picks
+            ]
         if not self.config.diverse_categories:
-            if ordered_indices.shape[0] < k and not complete:
+            if ordered_indices.shape[0] < k:
                 return None
             return [
                 Neighbor(entry=entries[int(i)], similarity=float(scores[int(i)]))
@@ -168,41 +236,40 @@ class NearestNeighborSearch:
             ]
         selected: List[Neighbor] = []
         seen_categories: Set[str] = set()
-        fillers: List[int] = []
         for i in ordered_indices:
             index = int(i)
             category = entries[index].category
             if category in seen_categories:
-                fillers.append(index)
                 continue
             selected.append(Neighbor(entry=entries[index], similarity=float(scores[index])))
             seen_categories.add(category)
             if len(selected) >= k:
                 return selected
-        # Fewer distinct categories than k inside the prefix.  Filling with
-        # same-category candidates is only allowed once the prefix covers
-        # every eligible entry: un-scanned candidates beyond it could still
-        # contribute a *new* category, which takes precedence over fillers.
-        if not complete:
-            return None
-        for index in fillers:
-            selected.append(Neighbor(entry=entries[index], similarity=float(scores[index])))
-            if len(selected) >= k:
-                return selected
-        return selected
+        # Fewer distinct categories than k inside this incomplete prefix:
+        # un-scanned candidates beyond it could still contribute a *new*
+        # category, which takes precedence over same-category fillers, so
+        # the caller must widen and retry.
+        return None
 
     def _eligible_indices(
         self,
         exclude_ids: Optional[Set[str]],
         history_before_day: Optional[float],
+        categories: Optional[Set[str]] = None,
     ) -> np.ndarray:
-        """Row indices that pass the exclusion and look-ahead filters."""
+        """Row indices that pass the exclusion, look-ahead and category filters."""
         total = len(self.store)
-        if not exclude_ids and history_before_day is None:
+        if not exclude_ids and history_before_day is None and not categories:
             return np.arange(total)
         mask = np.ones(total, dtype=bool)
         if history_before_day is not None:
             mask &= self.store.created_days() < history_before_day
+        if categories:
+            mask &= np.fromiter(
+                (entry.category in categories for entry in self.store._entries),
+                dtype=bool,
+                count=total,
+            )
         if exclude_ids:
             for incident_id in exclude_ids:
                 index = self.store.index_of(incident_id)
@@ -218,6 +285,7 @@ class NearestNeighborSearch:
         k: Optional[int] = None,
         exclude_ids: Optional[set] = None,
         history_before_day: Optional[float] = None,
+        categories: Optional[Set[str]] = None,
     ) -> List[Neighbor]:
         """Return the top-K neighbours for one query.
 
@@ -229,6 +297,8 @@ class NearestNeighborSearch:
             history_before_day: When set, only incidents created strictly
                 before this day participate (prevents look-ahead when
                 evaluating on a chronological test split).
+            categories: When set, only incidents labelled with one of these
+                categories participate.
 
         Returns:
             Neighbours in descending similarity order.  The result always
@@ -246,6 +316,7 @@ class NearestNeighborSearch:
             k=k,
             exclude_ids=[exclude_ids] if exclude_ids is not None else None,
             history_before_day=history_before_day,
+            categories=categories,
         )[0]
 
     def search_many(
@@ -255,6 +326,7 @@ class NearestNeighborSearch:
         k: Optional[int] = None,
         exclude_ids: Optional[Sequence[Optional[Set[str]]]] = None,
         history_before_day: Optional[float] = None,
+        categories: Optional[Set[str]] = None,
     ) -> List[List[Neighbor]]:
         """Top-K neighbours for every query in a batch.
 
@@ -269,6 +341,7 @@ class NearestNeighborSearch:
             k: Number of neighbours per query (defaults to the configured K).
             exclude_ids: Optional per-query sets of incident ids to skip.
             history_before_day: Shared look-ahead cut-off for the whole batch.
+            categories: Shared category filter for the whole batch.
 
         Returns:
             One descending-similarity neighbour list per query, with the same
@@ -312,9 +385,12 @@ class NearestNeighborSearch:
                 group_rows.append(row)
                 group_excludes.append(set(effective) if effective else None)
             group_of.append(index)
+        self.scored_groups += len(group_rows)
         scores = self.score_many(queries[group_rows], days[group_rows])
         group_results: List[List[Neighbor]] = []
         for position, row in enumerate(group_rows):
-            eligible = self._eligible_indices(group_excludes[position], history_before_day)
+            eligible = self._eligible_indices(
+                group_excludes[position], history_before_day, categories
+            )
             group_results.append(self._select(scores[position], eligible, k))
         return [list(group_results[group_of[row]]) for row in range(queries.shape[0])]

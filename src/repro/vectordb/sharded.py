@@ -1,0 +1,949 @@
+"""Time-window sharded vector index with exact bound-based shard pruning.
+
+At multi-100k histories the flat index scores every stored incident for
+every query.  But the paper's similarity (Section 4.2.2) decays
+exponentially with the temporal gap — ``exp(-alpha |dT|) / (1 + dist)`` —
+so an incident far in the past can never outscore a moderately close recent
+one.  :class:`ShardedVectorIndex` exploits this: entries are partitioned
+into time-window shards and, per query, shards are visited nearest-in-time
+first; a shard whose score *upper bound* ``exp(-alpha * dt_min)`` falls
+below the already-collected candidate pool is pruned without any matrix
+product.
+
+Pruning is **exact**, not approximate.  The final selection (see
+:func:`~repro.vectordb.knn.select_complete_order`) only ever picks from
+
+* the global top ``2k`` entries by score (the k diverse picks that are not
+  per-category argmaxes plus up to k fillers each have global rank <= 2k), and
+* the per-category argmax entries (what the diversity pass picks first);
+
+so a shard may be skipped exactly when (a) the candidate pool already holds
+``2k`` entries all strictly above the shard's bound and (b) every category
+present in the shard is already covered by a candidate strictly above the
+bound.  Under those conditions no entry of the shard can enter the result,
+and flat/sharded retrieval return identical neighbour lists — including tie
+breaks, which use the global insertion sequence exactly like the flat scan.
+
+With ``alpha == 0`` the bound is 1.0 and nothing is ever pruned (correct:
+without decay every era of the history matters equally).
+
+Shards persist independently: :meth:`ShardedVectorIndex.save` writes one
+``.npz`` per shard plus a JSON manifest, so a deployment can load, ship or
+back up time ranges separately.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .index import SHARDED_MANIFEST
+from .knn import NearestNeighborSearch, Neighbor, select_complete_order
+from .similarity import SimilarityConfig
+from .store import VectorEntry, VectorStore
+
+#: Default shard width in days.
+DEFAULT_WINDOW_DAYS = 30.0
+
+
+def time_bucket(day: float, window_days: float) -> int:
+    """Shard key of a creation day: which ``window_days``-wide window it is in."""
+    if window_days <= 0:
+        raise ValueError("window_days must be positive")
+    return int(math.floor(day / window_days))
+
+
+class _Shard:
+    """One time-window shard: a VectorStore plus sharding bookkeeping."""
+
+    __slots__ = (
+        "key", "store", "search", "seqs", "cat_codes", "cat_counts",
+        "min_day", "max_day", "_seq_array", "_code_array", "_groups",
+    )
+
+    def __init__(self, key: int, similarity: SimilarityConfig) -> None:
+        self.key = key
+        self.store = VectorStore()
+        self.search = NearestNeighborSearch(self.store, similarity)
+        self.seqs: List[int] = []       # global insertion sequence per row
+        self.cat_codes: List[int] = []  # global category code per row
+        self.cat_counts: Counter = Counter()
+        self.min_day = math.inf
+        self.max_day = -math.inf
+        self._seq_array: Optional[np.ndarray] = None
+        self._code_array: Optional[np.ndarray] = None
+        self._groups: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def seq_array(self) -> np.ndarray:
+        if self._seq_array is None or self._seq_array.shape[0] != len(self.seqs):
+            self._seq_array = np.asarray(self.seqs, dtype=np.int64)
+        return self._seq_array
+
+    def code_array(self) -> np.ndarray:
+        if self._code_array is None or self._code_array.shape[0] != len(self.cat_codes):
+            self._code_array = np.asarray(self.cat_codes, dtype=np.int64)
+        return self._code_array
+
+    def invalidate_groups(self) -> None:
+        self._groups = None
+
+    def groups(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Category grouping of the shard's rows, cached between queries.
+
+        Returns ``(perm, starts, sizes, group_codes)``: ``perm`` lists row
+        indices grouped by category code (rows ascending inside each group,
+        via a stable sort, so "first in group" means "lowest insertion
+        sequence"); ``starts``/``sizes`` delimit the groups inside ``perm``
+        and ``group_codes`` is each group's category code.  Codes only
+        change on insert/relabel, so per-query category argmaxes reduce to
+        one ``np.maximum.reduceat`` instead of a full sort, and coverage
+        checks against a query's per-category bests are one ``np.all``.
+        """
+        if self._groups is None or self._groups[0].shape[0] != len(self.cat_codes):
+            codes = self.code_array()
+            perm = np.argsort(codes, kind="stable")
+            grouped = codes[perm]
+            starts = np.flatnonzero(
+                np.concatenate([[True], grouped[1:] != grouped[:-1]])
+            )
+            sizes = np.diff(np.concatenate([starts, [grouped.shape[0]]]))
+            self._groups = (perm, starts, sizes, grouped[starts])
+        return self._groups
+
+    def dt_min(self, query_day: float) -> float:
+        """Smallest possible |query_day - entry_day| over the shard's entries."""
+        if self.min_day <= query_day <= self.max_day:
+            return 0.0
+        return min(abs(query_day - self.min_day), abs(query_day - self.max_day))
+
+
+class _QueryState:
+    """Per-query scan state: shard cursor, candidate pool, per-category bests."""
+
+    __slots__ = (
+        "order", "pos", "pool_scores", "pool_seqs", "pool_keys", "pool_rows",
+        "best_scores", "best_seqs", "best_keys", "best_rows", "covered_min",
+        "done", "scanned", "pruned", "skipped",
+    )
+
+    def __init__(self, order: List[Tuple[float, int]], category_count: int) -> None:
+        self.order = order
+        self.pos = 0
+        self.pool_scores = np.zeros(0)
+        self.pool_seqs = np.zeros(0, dtype=np.int64)
+        self.pool_keys = np.zeros(0, dtype=np.int64)
+        self.pool_rows = np.zeros(0, dtype=np.int64)
+        #: Per category code, the eligible argmax seen so far (score, seq,
+        #: shard key, row) — what the diversity pass would pick first.
+        #: -inf score means "category not covered yet".
+        self.best_scores = np.full(category_count, -math.inf)
+        self.best_seqs = np.zeros(category_count, dtype=np.int64)
+        self.best_keys = np.zeros(category_count, dtype=np.int64)
+        self.best_rows = np.zeros(category_count, dtype=np.int64)
+        #: Lowest per-category best once *every* index category is covered,
+        #: else -inf — an O(1) sufficient condition for the coverage part of
+        #: the pruning test (any shard's categories are a subset of all).
+        self.covered_min = -math.inf
+        self.done = False
+        self.scanned = 0
+        self.pruned = 0
+        self.skipped = 0
+
+    def pool_min(self, pool_size: int) -> float:
+        """Lowest retained pool score, or -inf while the pool is not full."""
+        if self.pool_scores.shape[0] < pool_size:
+            return -math.inf
+        return float(self.pool_scores[-1])
+
+    def update_category_bests(
+        self,
+        codes: np.ndarray,
+        scores: np.ndarray,
+        seqs: np.ndarray,
+        rows: np.ndarray,
+        shard_key: int,
+    ) -> None:
+        """Fold one shard's per-category argmaxes in (vectorised).
+
+        ``codes`` are distinct within one call (one entry per category
+        group), so the masked writes cannot collide; the (score desc, seq
+        asc) comparison matches the flat scan's tie-breaking.
+        """
+        current_scores = self.best_scores[codes]
+        improve = (scores > current_scores) | (
+            (scores == current_scores) & (seqs < self.best_seqs[codes])
+        )
+        if improve.any():
+            winners = codes[improve]
+            self.best_scores[winners] = scores[improve]
+            self.best_seqs[winners] = seqs[improve]
+            self.best_keys[winners] = shard_key
+            self.best_rows[winners] = rows[improve]
+        if self.best_scores.shape[0]:
+            self.covered_min = float(self.best_scores.min())
+
+
+class ShardedVectorIndex:
+    """Entries partitioned by time window; queries scan only relevant shards.
+
+    Implements the same :class:`~repro.vectordb.index.VectorIndex` protocol
+    as the flat index and returns identical results (see module docstring
+    for the exactness argument); the difference is purely how much of the
+    history each query touches, which :meth:`stats` reports.
+    """
+
+    backend = "sharded"
+
+    def __init__(
+        self,
+        similarity: Optional[SimilarityConfig] = None,
+        window_days: float = DEFAULT_WINDOW_DAYS,
+    ) -> None:
+        if window_days <= 0:
+            raise ValueError("window_days must be positive")
+        self.window_days = float(window_days)
+        self._similarity = similarity or SimilarityConfig()
+        self._shards: Dict[int, _Shard] = {}
+        self._locator: Dict[str, int] = {}  # incident id -> shard key
+        self._next_seq = 0
+        self._dim: Optional[int] = None
+        self._cat_code: Dict[str, int] = {}
+        # scan statistics (cumulative over the index lifetime)
+        self._queries = 0
+        self._shards_considered = 0
+        self._shards_scanned = 0
+        self._shards_pruned = 0
+        self._shards_skipped = 0
+        self._entries_scanned = 0
+        self._entries_considered = 0
+
+    # --------------------------------------------------------------- protocol
+    @property
+    def similarity(self) -> SimilarityConfig:
+        """The similarity configuration shared by every shard's scorer."""
+        return self._similarity
+
+    @similarity.setter
+    def similarity(self, config: SimilarityConfig) -> None:
+        self._similarity = config
+        for shard in self._shards.values():
+            shard.search.config = config
+
+    @property
+    def dim(self) -> Optional[int]:
+        """Embedding dimensionality (None until the first insert)."""
+        return self._dim
+
+    def __len__(self) -> int:
+        return len(self._locator)
+
+    def __contains__(self, incident_id: str) -> bool:
+        return incident_id in self._locator
+
+    def get(self, incident_id: str) -> Optional[VectorEntry]:
+        """Fetch one stored entry by incident id."""
+        key = self._locator.get(incident_id)
+        if key is None:
+            return None
+        return self._shards[key].store.get(incident_id)
+
+    def categories(self) -> List[str]:
+        """Distinct categories present across all shards (sorted)."""
+        present: Set[str] = set()
+        for shard in self._shards.values():
+            present.update(category for category, count in shard.cat_counts.items() if count)
+        return sorted(present)
+
+    def shard_sizes(self) -> Dict[int, int]:
+        """Entries per shard key (the index's time-window layout)."""
+        return {key: len(shard.store) for key, shard in sorted(self._shards.items())}
+
+    # ------------------------------------------------------------------ insert
+    def _code_for(self, category: str) -> int:
+        code = self._cat_code.get(category)
+        if code is None:
+            code = len(self._cat_code)
+            self._cat_code[category] = code
+        return code
+
+    def _shard_for(self, created_day: float) -> _Shard:
+        key = time_bucket(created_day, self.window_days)
+        shard = self._shards.get(key)
+        if shard is None:
+            shard = _Shard(key, self._similarity)
+            self._shards[key] = shard
+        return shard
+
+    def add(
+        self,
+        incident_id: str,
+        vector: np.ndarray,
+        created_day: float,
+        category: str,
+        text: str = "",
+    ) -> None:
+        """Insert one labelled incident embedding into its time-window shard."""
+        self.add_many(
+            incident_ids=[incident_id],
+            vectors=np.asarray(vector, dtype=np.float64).reshape(1, -1),
+            created_days=[created_day],
+            categories=[category],
+            texts=[text],
+        )
+
+    def add_many(
+        self,
+        incident_ids: Sequence[str],
+        vectors: np.ndarray,
+        created_days: Sequence[float],
+        categories: Sequence[str],
+        texts: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Bulk insert, routing each row to its time-window shard.
+
+        Validation happens up front (duplicate ids, alignment, dimension) so
+        a rejected batch leaves every shard untouched; global insertion
+        sequence numbers follow the batch order, preserving the flat index's
+        tie-breaking exactly.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be a 2-D (batch, dim) array")
+        count = vectors.shape[0]
+        if not (len(incident_ids) == count == len(created_days) == len(categories)):
+            raise ValueError("incident_ids, vectors, created_days and categories must align")
+        if texts is not None and len(texts) != count:
+            raise ValueError("texts must align with incident_ids")
+        if count == 0:
+            return
+        seen: Set[str] = set()
+        for incident_id in incident_ids:
+            if incident_id in self._locator or incident_id in seen:
+                raise ValueError(f"duplicate incident id in vector store: {incident_id}")
+            seen.add(incident_id)
+        if self._dim is None:
+            self._dim = vectors.shape[1]
+        elif vectors.shape[1] != self._dim:
+            raise ValueError(
+                f"vector dimension {vectors.shape[1]} does not match store dimension {self._dim}"
+            )
+        # Group batch rows by destination shard, preserving batch order.
+        rows_by_key: Dict[int, List[int]] = {}
+        for row, day in enumerate(created_days):
+            rows_by_key.setdefault(time_bucket(float(day), self.window_days), []).append(row)
+        for key, rows in rows_by_key.items():
+            shard = self._shard_for(float(created_days[rows[0]]))
+            shard.store.add_many(
+                incident_ids=[incident_ids[row] for row in rows],
+                vectors=vectors[rows],
+                created_days=[float(created_days[row]) for row in rows],
+                categories=[categories[row] for row in rows],
+                texts=[texts[row] for row in rows] if texts is not None else None,
+            )
+            for row in rows:
+                shard.seqs.append(self._next_seq + row)
+                shard.cat_codes.append(self._code_for(categories[row]))
+                shard.cat_counts[categories[row]] += 1
+                day = float(created_days[row])
+                shard.min_day = min(shard.min_day, day)
+                shard.max_day = max(shard.max_day, day)
+                self._locator[incident_ids[row]] = key
+        self._next_seq += count
+
+    # ------------------------------------------------------------------ update
+    def update_category(self, incident_id: str, category: str) -> None:
+        """Correct a stored category in place (OCE feedback path).
+
+        Raises:
+            KeyError: with the offending id, when the incident was never
+                indexed — mislabelled feedback must fail loudly.
+        """
+        key = self._locator.get(incident_id)
+        if key is None:
+            raise KeyError(f"unknown incident id in vector index: {incident_id}")
+        shard = self._shards[key]
+        row = shard.store.index_of(incident_id)
+        entry = shard.store.get(incident_id)
+        previous = entry.category
+        shard.store.update_category(incident_id, category)
+        if previous != category:
+            shard.cat_counts[previous] -= 1
+            if shard.cat_counts[previous] <= 0:
+                del shard.cat_counts[previous]
+            shard.cat_counts[category] += 1
+            shard.cat_codes[row] = self._code_for(category)
+            shard._code_array = None
+            shard.invalidate_groups()
+
+    # ------------------------------------------------------------------ search
+    def search(
+        self,
+        query_vector: np.ndarray,
+        query_day: float,
+        k: Optional[int] = None,
+        exclude_ids: Optional[Set[str]] = None,
+        history_before_day: Optional[float] = None,
+        categories: Optional[Set[str]] = None,
+    ) -> List[Neighbor]:
+        """Top-K neighbours of one query (delegates to the batch path)."""
+        return self.search_many(
+            np.asarray(query_vector, dtype=np.float64).reshape(1, -1),
+            np.array([query_day], dtype=np.float64),
+            k=k,
+            exclude_ids=[exclude_ids] if exclude_ids is not None else None,
+            history_before_day=history_before_day,
+            categories=categories,
+        )[0]
+
+    def search_many(
+        self,
+        query_matrix: np.ndarray,
+        query_days: Sequence[float],
+        k: Optional[int] = None,
+        exclude_ids: Optional[Sequence[Optional[Set[str]]]] = None,
+        history_before_day: Optional[float] = None,
+        categories: Optional[Set[str]] = None,
+    ) -> List[List[Neighbor]]:
+        """Top-K neighbours for a whole query batch, scanning eligible shards only.
+
+        The batch is processed in *waves*: every query nominates the next
+        shard it cannot skip (nearest-in-time first, after exact filters and
+        the score-bound pruning test), nominations are grouped so each shard
+        is scored once per wave with one matrix–matrix product over its
+        nominating sub-batch, and candidate pools absorb the results.  Waves
+        repeat until every query has either scanned or pruned every shard.
+        Results are identical to the flat index's full scan.
+        """
+        k = k or self._similarity.k
+        # An empty category filter means "no filter", matching the flat
+        # backend's truthiness semantics.
+        categories = categories or None
+        queries = np.asarray(query_matrix, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValueError("query_matrix must be a 2-D (batch, dim) array")
+        if exclude_ids is not None and len(exclude_ids) != queries.shape[0]:
+            raise ValueError("exclude_ids must align with query_matrix rows")
+        days = np.asarray(query_days, dtype=np.float64).ravel()
+        if days.shape[0] != queries.shape[0]:
+            raise ValueError("query_days must align with query_matrix rows")
+        total_queries = queries.shape[0]
+        if total_queries == 0:
+            return []
+        if not self._locator:
+            return [[] for _ in range(total_queries)]
+        if self._dim is not None and queries.shape[1] != self._dim:
+            raise ValueError(
+                f"query dimension {queries.shape[1]} does not match store dimension {self._dim}"
+            )
+        # Recurring incidents produce identical queries (paper Figure 2);
+        # each distinct (vector, day, effective exclusions) group is scanned
+        # once, exactly like the flat backend's in-batch dedup.  Exclusion
+        # ids absent from the index cannot change the result.
+        group_of: List[int] = []
+        group_rows: List[int] = []
+        group_excludes: List[Optional[Set[str]]] = []
+        group_index: Dict[tuple, int] = {}
+        for row in range(total_queries):
+            raw_exclude = exclude_ids[row] if exclude_ids is not None else None
+            effective = (
+                frozenset(
+                    incident_id
+                    for incident_id in raw_exclude
+                    if incident_id in self._locator
+                )
+                if raw_exclude
+                else frozenset()
+            )
+            group_key = (queries[row].tobytes(), float(days[row]), effective)
+            index = group_index.get(group_key)
+            if index is None:
+                index = len(group_rows)
+                group_index[group_key] = index
+                group_rows.append(row)
+                group_excludes.append(set(effective) if effective else None)
+            group_of.append(index)
+        if len(group_rows) < total_queries:
+            grouped = self.search_many(
+                queries[group_rows],
+                days[group_rows],
+                k=k,
+                exclude_ids=group_excludes,
+                history_before_day=history_before_day,
+                categories=categories,
+            )
+            # Deduplicated rows count toward queries and the considered
+            # denominators (a naive scan would have scored them too) but
+            # contribute no scans — they reuse a group's result.  Matches
+            # the flat backend's accounting.
+            duplicates = total_queries - len(group_rows)
+            self._queries += duplicates
+            self._shards_considered += duplicates * len(self._shards)
+            self._entries_considered += duplicates * len(self._locator)
+            return [list(grouped[group_of[row]]) for row in range(total_queries)]
+        diverse = self._similarity.diverse_categories
+        alpha = self._similarity.alpha
+        # The candidate pool per query holds the global top 2k by score: the
+        # selection's fillers have global rank <= 2k (see module docstring);
+        # per-category argmaxes are tracked separately in ``cat_best``.
+        pool_size = 2 * k
+        shard_keys = sorted(self._shards)
+        # Vectorised per-query shard ordering: dt_min of every (query, shard)
+        # pair in one broadcast, stable argsort so ties fall back to
+        # ascending shard key exactly like a (dt_min, key) tuple sort.
+        min_days = np.array([self._shards[key].min_day for key in shard_keys])
+        max_days = np.array([self._shards[key].max_day for key in shard_keys])
+        day_column = days[:, None]
+        dt_matrix = np.where(
+            (min_days <= day_column) & (day_column <= max_days),
+            0.0,
+            np.minimum(np.abs(day_column - min_days), np.abs(day_column - max_days)),
+        )
+        orderings = np.argsort(dt_matrix, axis=1, kind="stable")
+        category_count = len(self._cat_code)
+        states: List[_QueryState] = []
+        for qi in range(total_queries):
+            order = [
+                (float(dt_matrix[qi, position]), shard_keys[position])
+                for position in orderings[qi]
+            ]
+            states.append(_QueryState(order, category_count))
+        excludes = [
+            exclude_ids[qi] if exclude_ids is not None else None
+            for qi in range(total_queries)
+        ]
+        while True:
+            nominations: Dict[int, List[int]] = {}
+            for qi, state in enumerate(states):
+                if state.done:
+                    continue
+                key = self._advance(
+                    state, k, alpha, diverse, pool_size, history_before_day, categories
+                )
+                if key is None:
+                    state.done = True
+                else:
+                    nominations.setdefault(key, []).append(qi)
+            if not nominations:
+                break
+            for key in sorted(nominations):
+                qrows = nominations[key]
+                shard = self._shards[key]
+                scores = shard.search.score_many(queries[qrows], days[qrows])
+                self._absorb_wave(
+                    states,
+                    qrows,
+                    shard,
+                    scores,
+                    excludes,
+                    history_before_day,
+                    categories,
+                    pool_size,
+                    diverse,
+                )
+                for qi in qrows:
+                    states[qi].pos += 1
+        results = [self._finalize(state, k, diverse) for state in states]
+        shard_count = len(self._shards)
+        self._queries += total_queries
+        self._shards_considered += total_queries * shard_count
+        self._entries_considered += total_queries * len(self._locator)
+        for state in states:
+            self._shards_scanned += state.scanned
+            self._shards_pruned += state.pruned
+            self._shards_skipped += state.skipped
+        return results
+
+    def _advance(
+        self,
+        state: _QueryState,
+        k: int,
+        alpha: float,
+        diverse: bool,
+        pool_size: int,
+        history_before_day: Optional[float],
+        categories: Optional[Set[str]],
+    ) -> Optional[int]:
+        """Next shard this query must scan, skipping filtered/pruned shards."""
+        while state.pos < len(state.order):
+            dt_min, key = state.order[state.pos]
+            shard = self._shards[key]
+            # Exact filters: no eligible entry can exist in the shard.
+            if history_before_day is not None and shard.min_day >= history_before_day:
+                state.skipped += 1
+                state.pos += 1
+                continue
+            if categories is not None and not any(
+                category in categories for category in shard.cat_counts
+            ):
+                state.skipped += 1
+                state.pos += 1
+                continue
+            upper_bound = math.exp(-alpha * dt_min) if alpha > 0 else 1.0
+            if self._can_prune(state, shard, upper_bound, pool_size, diverse, categories):
+                state.pruned += 1
+                state.pos += 1
+                continue
+            return key
+        return None
+
+    def _can_prune(
+        self,
+        state: _QueryState,
+        shard: _Shard,
+        upper_bound: float,
+        pool_size: int,
+        diverse: bool,
+        categories: Optional[Set[str]],
+    ) -> bool:
+        """True when no entry of ``shard`` can possibly enter the result.
+
+        Requires a full candidate pool strictly above the shard's score upper
+        bound and — with diversity on — every category present in the shard
+        already covered by a strictly better candidate.  Strict inequalities
+        keep tie-breaking identical to the flat scan.
+
+        The coverage test is tiered: an O(1) fast path (when every category
+        of the *whole index* is covered above the bound, any shard's subset
+        is too), a vectorised per-shard check against the query's
+        per-category bests, and a Python walk only when a category filter
+        restricts which categories matter.
+        """
+        if state.pool_min(pool_size) <= upper_bound:
+            return False
+        if diverse:
+            if categories is None:
+                if state.covered_min > upper_bound:
+                    return True
+                group_codes = shard.groups()[3]
+                return bool(np.all(state.best_scores[group_codes] > upper_bound))
+            for category in shard.cat_counts:
+                if category not in categories:
+                    continue
+                code = self._cat_code.get(category)
+                if code is None or state.best_scores[code] <= upper_bound:
+                    return False
+        return True
+
+    def _absorb_wave(
+        self,
+        states: List[_QueryState],
+        qrows: List[int],
+        shard: _Shard,
+        scores: np.ndarray,
+        excludes: List[Optional[Set[str]]],
+        history_before_day: Optional[float],
+        categories: Optional[Set[str]],
+        pool_size: int,
+        diverse: bool,
+    ) -> None:
+        """Fold one scored shard into every nominating query's pool.
+
+        The hot path (no look-ahead cut-off, no category filter, no excluded
+        id stored in *this* shard) extracts candidates for the whole
+        sub-batch at once — one batched ``argpartition`` for the top pools
+        and one ``reduceat`` chain for the per-category argmaxes — so
+        per-query work shrinks to the small pool merge.  Queries that do
+        filter rows of this shard take the exact per-query path.
+        """
+        fast_rows: List[int] = []
+        if history_before_day is None and categories is None:
+            for position, qi in enumerate(qrows):
+                exclude = excludes[qi]
+                if exclude and any(
+                    self._locator.get(incident_id) == shard.key
+                    for incident_id in exclude
+                ):
+                    self._absorb(
+                        states[qi], shard, scores[position], exclude,
+                        history_before_day, categories, pool_size, diverse,
+                    )
+                else:
+                    fast_rows.append(position)
+        else:
+            for position, qi in enumerate(qrows):
+                self._absorb(
+                    states[qi], shard, scores[position], excludes[qi],
+                    history_before_day, categories, pool_size, diverse,
+                )
+        if not fast_rows:
+            return
+        sub = scores[fast_rows]
+        total = sub.shape[1]
+        seqs = shard.seq_array()
+        # Top-pool *sets* per row (ordering is irrelevant — the pool merge
+        # re-sorts): one batched argpartition, with boundary ties corrected
+        # per row so the kept set matches the flat (-score, seq) ranking.
+        if total <= pool_size:
+            top_matrix = np.broadcast_to(np.arange(total), (sub.shape[0], total))
+            tie_fix_rows = ()
+        else:
+            top_matrix = np.argpartition(-sub, pool_size - 1, axis=1)[:, :pool_size]
+            boundary = np.take_along_axis(sub, top_matrix, axis=1).min(axis=1)
+            ties_total = (sub == boundary[:, None]).sum(axis=1)
+            above = (sub > boundary[:, None]).sum(axis=1)
+            # Rows where ties straddle the partition boundary need the exact
+            # lowest-sequence ties instead of argpartition's arbitrary pick.
+            tie_fix_rows = np.flatnonzero(above + ties_total > pool_size)
+        argmax_matrix = None
+        group_codes = None
+        if diverse:
+            perm, starts, sizes, group_codes = shard.groups()
+            grouped = sub[:, perm]
+            group_maxes = np.maximum.reduceat(grouped, starts, axis=1)
+            # First (lowest-row, hence lowest-seq) position achieving each
+            # group's maximum: positions where the max is attained, minimised
+            # per group.  perm ascends inside each group, so "first" is exact.
+            positions = np.where(
+                grouped == np.repeat(group_maxes, sizes, axis=1),
+                np.arange(total)[None, :],
+                total,
+            )
+            first = np.minimum.reduceat(positions, starts, axis=1)
+            argmax_matrix = perm[first]
+        for offset, position in enumerate(fast_rows):
+            state = states[qrows[position]]
+            state.scanned += 1
+            self._entries_scanned += total
+            scores_row = sub[offset]
+            if len(tie_fix_rows) and offset in tie_fix_rows:
+                threshold = boundary[offset]
+                keep_above = np.flatnonzero(scores_row > threshold)
+                tied = np.flatnonzero(scores_row == threshold)
+                top = np.concatenate(
+                    [keep_above, tied[: pool_size - keep_above.shape[0]]]
+                )
+            else:
+                top = top_matrix[offset]
+            if argmax_matrix is None:
+                keep_rows = top
+            else:
+                argmax_rows = argmax_matrix[offset]
+                state.update_category_bests(
+                    group_codes,
+                    scores_row[argmax_rows],
+                    seqs[argmax_rows],
+                    argmax_rows.astype(np.int64),
+                    shard.key,
+                )
+                keep_rows = np.union1d(top, argmax_rows)
+            self._merge_pool(
+                state, shard.key, scores_row[keep_rows], seqs[keep_rows],
+                keep_rows.astype(np.int64), pool_size,
+            )
+
+    def _absorb(
+        self,
+        state: _QueryState,
+        shard: _Shard,
+        scores_row: np.ndarray,
+        exclude: Optional[Set[str]],
+        history_before_day: Optional[float],
+        categories: Optional[Set[str]],
+        pool_size: int,
+        diverse: bool,
+    ) -> None:
+        """Fold one *filtered* scored shard into a query's candidate pool.
+
+        Only called when some filter actually removes rows of this shard (a
+        look-ahead cut-off, a category filter, or an excluded id stored
+        here); unfiltered shards take :meth:`_absorb_wave`'s batched path.
+        """
+        state.scanned += 1
+        self._entries_scanned += len(shard.store)
+        total = len(shard.store)
+        mask: Optional[np.ndarray] = None
+        if history_before_day is not None:
+            mask = shard.store.created_days() < history_before_day
+        if categories is not None:
+            allowed = np.fromiter(
+                (entry.category in categories for entry in shard.store._entries),  # noqa: SLF001
+                dtype=bool,
+                count=total,
+            )
+            mask = allowed if mask is None else (mask & allowed)
+        if exclude:
+            for incident_id in exclude:
+                if self._locator.get(incident_id) == shard.key:
+                    row = shard.store.index_of(incident_id)
+                    if mask is None:
+                        mask = np.ones(total, dtype=bool)
+                    mask[row] = False
+        assert mask is not None, "unfiltered shards must go through _absorb_wave"
+        eligible = np.flatnonzero(mask)
+        if eligible.shape[0] == 0:
+            return
+        elig_scores = scores_row[eligible]
+        elig_seqs = shard.seq_array()[eligible]
+        # Rows are appended in insertion order, so within a shard the
+        # global sequence ascends with the row index: a *stable* argsort
+        # of the negated scores is the flat scan's (-score, seq) order.
+        order = np.argsort(-elig_scores, kind="stable")
+        keep_rows = order[:pool_size]
+        if diverse:
+            codes_in_order = shard.code_array()[eligible][order]
+            _, first = np.unique(codes_in_order, return_index=True)
+            argmax_rows = order[first]
+            keep_rows = np.union1d(keep_rows, argmax_rows)
+            state.update_category_bests(
+                codes_in_order[first],
+                elig_scores[argmax_rows],
+                elig_seqs[argmax_rows],
+                eligible[argmax_rows].astype(np.int64),
+                shard.key,
+            )
+        self._merge_pool(
+            state,
+            shard.key,
+            elig_scores[keep_rows],
+            elig_seqs[keep_rows],
+            eligible[keep_rows].astype(np.int64),
+            pool_size,
+        )
+
+    @staticmethod
+    def _merge_pool(
+        state: _QueryState,
+        shard_key: int,
+        cand_scores: np.ndarray,
+        cand_seqs: np.ndarray,
+        cand_rows: np.ndarray,
+        pool_size: int,
+    ) -> None:
+        """Merge one shard's candidates into the query's top pool (exact)."""
+        merged_scores = np.concatenate([state.pool_scores, cand_scores])
+        merged_seqs = np.concatenate([state.pool_seqs, cand_seqs])
+        merged_keys = np.concatenate(
+            [state.pool_keys, np.full(cand_rows.shape[0], shard_key, dtype=np.int64)]
+        )
+        merged_rows = np.concatenate([state.pool_rows, cand_rows])
+        retained = np.lexsort((merged_seqs, -merged_scores))[:pool_size]
+        state.pool_scores = merged_scores[retained]
+        state.pool_seqs = merged_seqs[retained]
+        state.pool_keys = merged_keys[retained]
+        state.pool_rows = merged_rows[retained]
+
+    def _finalize(self, state: _QueryState, k: int, diverse: bool) -> List[Neighbor]:
+        """Select the final neighbours from a query's merged candidates."""
+        combined: Dict[Tuple[int, int], Tuple[float, int, int, int]] = {}
+        for position in range(state.pool_scores.shape[0]):
+            key = int(state.pool_keys[position])
+            row = int(state.pool_rows[position])
+            combined[(key, row)] = (
+                float(state.pool_scores[position]),
+                int(state.pool_seqs[position]),
+                key,
+                row,
+            )
+        for code in np.flatnonzero(state.best_scores > -math.inf):
+            key = int(state.best_keys[code])
+            row = int(state.best_rows[code])
+            combined.setdefault(
+                (key, row),
+                (float(state.best_scores[code]), int(state.best_seqs[code]), key, row),
+            )
+        ordered = sorted(combined.values(), key=lambda item: (-item[0], item[1]))
+        candidate_categories = [
+            self._shards[key].store._entries[row].category  # noqa: SLF001
+            for _, _, key, row in ordered
+        ]
+        picks = select_complete_order(candidate_categories, k, diverse)
+        neighbors: List[Neighbor] = []
+        for position in picks:
+            score, _, key, row = ordered[position]
+            neighbors.append(
+                Neighbor(
+                    entry=self._shards[key].store._entries[row],  # noqa: SLF001
+                    similarity=score,
+                )
+            )
+        return neighbors
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str) -> None:
+        """Persist to a directory: one ``.npz`` per shard + ``manifest.json``.
+
+        Shards are self-contained :meth:`VectorStore.save` archives, so time
+        ranges can be copied, shipped or restored independently; the manifest
+        records the window layout and each shard's global insertion sequence.
+        """
+        os.makedirs(path, exist_ok=True)
+        shards_meta = []
+        for key in sorted(self._shards):
+            shard = self._shards[key]
+            filename = f"shard-{key}.npz"
+            shard.store.save(os.path.join(path, filename))
+            shards_meta.append({"key": key, "file": filename, "seqs": shard.seqs})
+        manifest = {
+            "format": "sharded-vector-index",
+            "version": 1,
+            "window_days": self.window_days,
+            "next_seq": self._next_seq,
+            "shards": shards_meta,
+        }
+        with open(os.path.join(path, SHARDED_MANIFEST), "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+
+    @classmethod
+    def load(
+        cls, path: str, similarity: Optional[SimilarityConfig] = None
+    ) -> "ShardedVectorIndex":
+        """Re-open an index written by :meth:`save`."""
+        with open(os.path.join(path, SHARDED_MANIFEST), "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != "sharded-vector-index":
+            raise ValueError(f"not a sharded vector index: {path}")
+        index = cls(similarity=similarity, window_days=float(manifest["window_days"]))
+        for meta in manifest["shards"]:
+            key = int(meta["key"])
+            store = VectorStore.load(os.path.join(path, meta["file"]))
+            shard = _Shard(key, index._similarity)
+            shard.store = store
+            shard.search = NearestNeighborSearch(store, index._similarity)
+            shard.seqs = [int(seq) for seq in meta["seqs"]]
+            for entry in store:
+                shard.cat_codes.append(index._code_for(entry.category))
+                shard.cat_counts[entry.category] += 1
+                shard.min_day = min(shard.min_day, entry.created_day)
+                shard.max_day = max(shard.max_day, entry.created_day)
+                index._locator[entry.incident_id] = key
+            index._shards[key] = shard
+            if store.dim is not None:
+                index._dim = store.dim
+        index._next_seq = int(manifest["next_seq"])
+        return index
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, float]:
+        """Layout and scan statistics.
+
+        ``scanned_shard_ratio`` / ``scanned_entry_ratio`` are cumulative over
+        the index lifetime: the fraction of (query, shard) and (query, entry)
+        pairs that were actually scored rather than skipped or pruned.
+        """
+        sizes = [len(shard.store) for shard in self._shards.values()]
+        return {
+            "entries": float(len(self._locator)),
+            "shard_count": float(len(self._shards)),
+            "max_shard_size": float(max(sizes) if sizes else 0),
+            "queries": float(self._queries),
+            "shards_considered": float(self._shards_considered),
+            "shards_scanned": float(self._shards_scanned),
+            "shards_pruned": float(self._shards_pruned),
+            "shards_skipped": float(self._shards_skipped),
+            "entries_scanned": float(self._entries_scanned),
+            "scanned_shard_ratio": (
+                self._shards_scanned / self._shards_considered
+                if self._shards_considered
+                else 0.0
+            ),
+            "scanned_entry_ratio": (
+                self._entries_scanned / self._entries_considered
+                if self._entries_considered
+                else 0.0
+            ),
+        }

@@ -1,0 +1,156 @@
+"""Flat vs. sharded retrieval through the full prediction stage.
+
+The acceptance contract of the retrieval refactor: on the seed corpus, a
+prediction stage configured with the sharded index produces *identical*
+predictions and neighbour sets to one configured with the flat index —
+sharding is a layout/performance choice, never a quality choice.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.core import (
+    IndexConfig,
+    PredictionConfig,
+    PredictionStage,
+    RCACopilot,
+    PipelineConfig,
+)
+from repro.llm import SimulatedLLM
+from repro.telemetry import TelemetryHub
+from repro.vectordb import FlatVectorIndex, ShardedVectorIndex
+
+
+def build_stage(backend, corpus_split, window_days=20.0):
+    train, _ = corpus_split
+    stage = PredictionStage(
+        model=SimulatedLLM(),
+        config=PredictionConfig(),
+        index_config=IndexConfig(backend=backend, window_days=window_days),
+    )
+    stage.index_history(train)
+    return stage
+
+
+class TestSeedCorpusParity:
+    def test_index_backend_selected_from_config(self, corpus_split):
+        flat_stage = build_stage("flat", corpus_split)
+        sharded_stage = build_stage("sharded", corpus_split)
+        assert isinstance(flat_stage.index, FlatVectorIndex)
+        assert isinstance(sharded_stage.index, ShardedVectorIndex)
+        # The compatibility alias keeps pointing at the live index.
+        assert flat_stage.vector_store is flat_stage.index
+        assert len(sharded_stage.index) == len(flat_stage.index)
+
+    def test_identical_predictions_and_neighbors(self, corpus_split):
+        """Same labels, same neighbour ids, same similarity scores."""
+        _, test = corpus_split
+        flat_stage = build_stage("flat", corpus_split)
+        sharded_stage = build_stage("sharded", corpus_split)
+        incidents = test.labelled()
+        flat_outcomes = flat_stage.predict_many(copy.deepcopy(incidents))
+        sharded_outcomes = sharded_stage.predict_many(copy.deepcopy(incidents))
+        assert [o.label for o in flat_outcomes] == [o.label for o in sharded_outcomes]
+        for flat_outcome, sharded_outcome in zip(flat_outcomes, sharded_outcomes):
+            assert [n.incident_id for n in flat_outcome.neighbors] == [
+                n.incident_id for n in sharded_outcome.neighbors
+            ]
+            assert [n.similarity for n in sharded_outcome.neighbors] == pytest.approx(
+                [n.similarity for n in flat_outcome.neighbors]
+            )
+
+    def test_retrieval_parity_with_lookahead_cutoff(self, corpus_split):
+        _, test = corpus_split
+        flat_stage = build_stage("flat", corpus_split)
+        sharded_stage = build_stage("sharded", corpus_split, window_days=10.0)
+        incidents = test.labelled()[:10]
+        cutoff = incidents[0].created_day
+        flat_lists = flat_stage.retrieve_many(incidents, history_before_day=cutoff)
+        sharded_lists = sharded_stage.retrieve_many(incidents, history_before_day=cutoff)
+        assert [
+            [n.incident_id for n in demonstrations] for demonstrations in flat_lists
+        ] == [[n.incident_id for n in demonstrations] for demonstrations in sharded_lists]
+
+    def test_feedback_parity_after_updates(self, corpus_split):
+        """add_to_index + update_category keep the two backends in lockstep."""
+        _, test = corpus_split
+        flat_stage = build_stage("flat", corpus_split)
+        sharded_stage = build_stage("sharded", corpus_split)
+        extra = test.labelled()[:6]
+        for incident in extra:
+            flat_stage.add_to_index(incident)
+            sharded_stage.add_to_index(incident)
+        flat_stage.update_category(extra[0].incident_id, "Rewritten")
+        sharded_stage.update_category(extra[0].incident_id, "Rewritten")
+        probes = test.labelled()[6:16]
+        flat_lists = flat_stage.retrieve_many(copy.deepcopy(probes))
+        sharded_lists = sharded_stage.retrieve_many(copy.deepcopy(probes))
+        assert [
+            [n.incident_id for n in demonstrations] for demonstrations in flat_lists
+        ] == [[n.incident_id for n in demonstrations] for demonstrations in sharded_lists]
+
+    @pytest.mark.parametrize("backend", ["flat", "sharded"])
+    def test_update_category_unknown_id_fails_loudly(self, corpus_split, backend):
+        stage = build_stage(backend, corpus_split)
+        with pytest.raises(KeyError, match="INC-NOT-THERE"):
+            stage.update_category("INC-NOT-THERE", "Whatever")
+
+
+class TestShardKeyExtraction:
+    def test_shard_key_matches_vectordb_bucketing(self, small_corpus):
+        """incidents.shard_key must stay formula-identical to time_bucket."""
+        from repro.incidents import shard_key
+        from repro.vectordb import time_bucket
+
+        for incident in small_corpus:
+            for window in (7.0, 15.0, 30.0):
+                assert shard_key(incident, window) == time_bucket(
+                    incident.created_day, window
+                )
+        with pytest.raises(ValueError):
+            shard_key(small_corpus.all()[0], 0.0)
+
+    def test_shard_counts_previews_index_layout(self, corpus_split):
+        """shard_counts on the history matches the built sharded index."""
+        train, _ = corpus_split
+        stage = build_stage("sharded", corpus_split, window_days=20.0)
+        labelled = train.labelled()
+        expected = {}
+        from repro.incidents import shard_key
+
+        for incident in labelled:
+            key = shard_key(incident, 20.0)
+            expected[key] = expected.get(key, 0) + 1
+        assert stage.index.shard_sizes() == expected
+        counts = train.shard_counts(20.0)
+        assert sum(counts.values()) == len(train.all())
+        assert list(counts) == sorted(counts)
+
+
+class TestIndexTelemetry:
+    def test_index_metrics_exported_through_hub(self, small_corpus):
+        hub = TelemetryHub()
+        config = PipelineConfig(index=IndexConfig(backend="sharded", window_days=20.0))
+        copilot = RCACopilot(hub, config=config)
+        train, test = small_corpus.chronological_split(0.75)
+        copilot.index_history(train)
+        copilot.diagnose_many(copy.deepcopy(test.labelled()[:4]))
+        names = hub.metrics.metric_names()
+        for suffix in (
+            "entries",
+            "shard_count",
+            "scanned_shard_ratio",
+            "max_shard_size",
+        ):
+            assert f"rcacopilot.index.{suffix}" in names
+        shard_count = hub.metrics.latest("rcacopilot.index.shard_count", "prediction-stage")
+        assert shard_count is not None and shard_count > 1.0
+
+    def test_invalid_index_config_rejected(self):
+        with pytest.raises(ValueError):
+            IndexConfig(backend="faiss")
+        with pytest.raises(ValueError):
+            IndexConfig(window_days=-1.0)

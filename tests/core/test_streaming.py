@@ -1,0 +1,225 @@
+"""Tests for the streaming micro-batch ingestion front.
+
+Covers the new ingestion contract: a continuous alert stream is grouped
+into ``observe_many`` micro-batches automatically (size- and latency-bound
+flushes, bounded queue with backpressure or load-shed), results flow back
+through futures, queue/flush statistics reach the telemetry hub, and OCE
+feedback recorded mid-stream is visible to the very next micro-batch on
+both index backends.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.cloudsim import TransportService
+from repro.core import (
+    IndexConfig,
+    IngestConfig,
+    IngestQueueFull,
+    PipelineConfig,
+    RCACopilot,
+    StreamIngestor,
+)
+from repro.datagen import generate_corpus
+
+
+FAULTS = ("HubPortExhaustion", "DeliveryHang", "FullDisk", "CodeRegression")
+
+
+@pytest.fixture(scope="module")
+def stream_service():
+    service = TransportService(seed=404)
+    service.warm_up(hours=1.0)
+    return service
+
+
+@pytest.fixture(scope="module")
+def alert_feed(stream_service):
+    """A deterministic list of real monitor alerts to replay through ingestors."""
+    alerts = []
+    for round_index in range(3):
+        for fault in FAULTS:
+            outcome = stream_service.inject_and_detect(fault)
+            if outcome.primary_alert is not None:
+                alerts.append(outcome.primary_alert)
+    assert len(alerts) >= 6
+    return alerts
+
+
+def build_copilot(stream_service, backend="flat"):
+    config = PipelineConfig(index=IndexConfig(backend=backend, window_days=20.0))
+    copilot = RCACopilot(stream_service.hub, config=config)
+    history = generate_corpus(
+        total_incidents=60, total_categories=18, seed=5, duration_days=90.0
+    )
+    copilot.index_history(history)
+    return copilot
+
+
+class TestManualFlush:
+    def test_flush_matches_observe_many(self, stream_service, alert_feed):
+        streamed = build_copilot(stream_service)
+        direct = build_copilot(stream_service)
+        ingestor = streamed.stream(IngestConfig(max_batch=64, max_latency_seconds=1.0))
+        futures = ingestor.submit_many(alert_feed[:6])
+        reports = ingestor.flush()
+        expected = direct.observe_many(alert_feed[:6])
+        assert [r.predicted_label for r in reports] == [
+            r.predicted_label for r in expected
+        ]
+        assert all(future.done() for future in futures)
+        assert [future.result().predicted_label for future in futures] == [
+            r.predicted_label for r in expected
+        ]
+
+    def test_flush_respects_max_batch(self, stream_service, alert_feed):
+        copilot = build_copilot(stream_service)
+        ingestor = copilot.stream(IngestConfig(max_batch=2, max_latency_seconds=1.0))
+        ingestor.submit_many(alert_feed[:5])
+        assert ingestor.queue_depth == 5
+        reports = ingestor.flush()
+        assert len(reports) == 5
+        stats = ingestor.stats()
+        assert stats.batches == 3  # 2 + 2 + 1
+        assert stats.flush_reasons["manual"] == 3
+        assert stats.max_queue_depth >= 5
+        assert ingestor.queue_depth == 0
+
+    def test_empty_flush_is_noop(self, stream_service):
+        ingestor = build_copilot(stream_service).stream()
+        assert ingestor.flush() == []
+
+
+class TestBackgroundWorker:
+    def test_size_triggered_flush(self, stream_service, alert_feed):
+        copilot = build_copilot(stream_service)
+        ingestor = copilot.stream(
+            IngestConfig(max_batch=2, max_latency_seconds=5.0)
+        )
+        with ingestor:
+            futures = ingestor.submit_many(alert_feed[:4])
+            labels = [future.result(timeout=30.0) for future in futures]
+        assert all(report.predicted_label for report in labels)
+        assert ingestor.stats().flush_reasons["size"] >= 1
+
+    def test_latency_triggered_flush(self, stream_service, alert_feed):
+        copilot = build_copilot(stream_service)
+        ingestor = copilot.stream(
+            IngestConfig(max_batch=1000, max_latency_seconds=0.05)
+        ).start()
+        try:
+            future = ingestor.submit(alert_feed[0])
+            report = future.result(timeout=30.0)
+            assert report.predicted_label
+            assert ingestor.stats().flush_reasons["latency"] >= 1
+        finally:
+            ingestor.stop()
+
+    def test_cancelled_future_does_not_kill_the_worker(self, stream_service, alert_feed):
+        """A future cancelled while queued is dropped; the stream keeps flowing."""
+        copilot = build_copilot(stream_service)
+        ingestor = copilot.stream(IngestConfig(max_batch=8, max_latency_seconds=1.0))
+        doomed = ingestor.submit(alert_feed[0])
+        survivor = ingestor.submit(alert_feed[1])
+        assert doomed.cancel()
+        reports = ingestor.flush()
+        assert len(reports) == 1
+        assert survivor.result(timeout=1.0).predicted_label
+        assert doomed.cancelled()
+        # The ingestor is still fully operational after the cancellation.
+        follow_up = ingestor.submit(alert_feed[2])
+        ingestor.flush()
+        assert follow_up.result(timeout=1.0).predicted_label
+
+    def test_stop_flushes_remainder(self, stream_service, alert_feed):
+        copilot = build_copilot(stream_service)
+        ingestor = copilot.stream(IngestConfig(max_batch=64, max_latency_seconds=10.0))
+        futures = ingestor.submit_many(alert_feed[:3])
+        ingestor.stop()  # worker never started; stop() still drains the queue
+        assert all(future.done() for future in futures)
+        assert ingestor.stats().processed == 3
+
+
+class TestBoundedQueue:
+    def test_load_shed_raises_when_full(self, stream_service, alert_feed):
+        copilot = build_copilot(stream_service)
+        ingestor = StreamIngestor(
+            copilot,
+            IngestConfig(
+                max_batch=4,
+                max_latency_seconds=1.0,
+                queue_capacity=2,
+                block_when_full=False,
+            ),
+        )
+        ingestor.submit(alert_feed[0])
+        ingestor.submit(alert_feed[1])
+        with pytest.raises(IngestQueueFull):
+            ingestor.submit(alert_feed[2])
+        ingestor.flush()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            IngestConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            IngestConfig(max_latency_seconds=0.0)
+        with pytest.raises(ValueError):
+            IngestConfig(queue_capacity=-1)
+
+
+class TestTelemetryExport:
+    def test_queue_and_flush_metrics_reach_hub(self, stream_service, alert_feed):
+        copilot = build_copilot(stream_service)
+        ingestor = copilot.stream(IngestConfig(max_batch=4, max_latency_seconds=1.0))
+        ingestor.submit_many(alert_feed[:4])
+        ingestor.flush()
+        names = copilot.hub.metrics.metric_names()
+        for suffix in ("queue_depth", "flush_size", "batches", "submitted"):
+            assert f"rcacopilot.ingest.{suffix}" in names
+        flush_size = copilot.hub.metrics.latest(
+            "rcacopilot.ingest.flush_size", "stream-ingestor"
+        )
+        assert flush_size == 4.0
+
+
+class TestFeedbackMidStream:
+    """Satellite: feedback between micro-batches reaches the next batch."""
+
+    @pytest.mark.parametrize("backend", ["flat", "sharded"])
+    def test_feedback_visible_to_next_micro_batch(
+        self, stream_service, alert_feed, backend
+    ):
+        copilot = build_copilot(stream_service, backend=backend)
+        ingestor = copilot.stream(IngestConfig(max_batch=8, max_latency_seconds=1.0))
+        ingestor.submit(alert_feed[0])
+        first_batch = ingestor.flush()
+        diagnosed = first_batch[0].incident
+        assert diagnosed.incident_id not in copilot.prediction.vector_store
+        ingestor.record_feedback(diagnosed, "StreamConfirmedCategory")
+        assert diagnosed.incident_id in copilot.prediction.vector_store
+        assert (
+            copilot.prediction.vector_store.get(diagnosed.incident_id).category
+            == "StreamConfirmedCategory"
+        )
+        # Replay the *same* alert as a new stream item: the fed-back incident
+        # must come back as a neighbour in the very next micro-batch.
+        ingestor.submit(copy.deepcopy(alert_feed[0]))
+        second_batch = ingestor.flush()
+        neighbor_ids = [n.incident_id for n in second_batch[0].prediction.neighbors]
+        assert diagnosed.incident_id in neighbor_ids
+
+    @pytest.mark.parametrize("backend", ["flat", "sharded"])
+    def test_feedback_correction_between_batches(
+        self, stream_service, alert_feed, backend
+    ):
+        copilot = build_copilot(stream_service, backend=backend)
+        ingestor = copilot.stream()
+        ingestor.submit(alert_feed[1])
+        report = ingestor.flush()[0]
+        ingestor.record_feedback(report.incident, "FirstLabel")
+        ingestor.record_feedback(report.incident, "CorrectedLabel")
+        entry = copilot.prediction.vector_store.get(report.incident.incident_id)
+        assert entry.category == "CorrectedLabel"
