@@ -19,11 +19,15 @@ Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_throughput_batch.py 
 from __future__ import annotations
 
 import copy
+import os
+import platform
 import time
 from dataclasses import replace
 from typing import List
 
 import numpy as np
+
+from bench_utils import write_results
 
 from repro.core import RCACopilot
 from repro.datagen import generate_corpus
@@ -133,13 +137,36 @@ def test_throughput_single_vs_batch(quick_mode):
     print()
     print(f"{'history':>10} {'seq inc/s':>12} {'batch inc/s':>12} {'speedup':>9}")
     speedups = {}
+    rows = {}
     for history_size in history_sizes:
         sequential_ips, batch_ips = _throughput(history_size)
         speedups[history_size] = batch_ips / sequential_ips
+        rows[str(history_size)] = {
+            "sequential_incidents_per_second": sequential_ips,
+            "batch_incidents_per_second": batch_ips,
+            "speedup": speedups[history_size],
+        }
         print(
             f"{history_size:>10} {sequential_ips:>12.1f} {batch_ips:>12.1f} "
             f"{speedups[history_size]:>8.1f}x"
         )
+    path = write_results(
+        "BENCH_throughput.json",
+        {
+            "benchmark": "throughput_batch",
+            "config": {
+                "history_sizes": list(history_sizes),
+                "distinct_incidents": DISTINCT_INCIDENTS,
+                "recurrences": RECURRENCES,
+                "quick_mode": bool(quick_mode),
+                "cores": os.cpu_count() or 1,
+                "machine": platform.machine(),
+                "python": platform.python_version(),
+            },
+            "results": rows,
+        }
+    )
+    print(f"machine-readable results: {path}")
     assert speedups[10_000] >= 3.0, (
         f"batch path must be >= 3x the sequential loop at 10k history, "
         f"got {speedups[10_000]:.2f}x"

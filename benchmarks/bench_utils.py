@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness (not collected as tests)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def write_results(filename: str, payload: dict) -> str:
+    """Write one benchmark's machine-readable results as pretty JSON.
+
+    Files land next to the repo root by default so the CI benchmark smoke
+    job can archive ``BENCH_*.json`` artifacts; set ``BENCH_OUTPUT_DIR``
+    to redirect them.
+    """
+    directory = os.environ.get("BENCH_OUTPUT_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path

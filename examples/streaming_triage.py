@@ -4,7 +4,8 @@
 Demonstrates the streaming deployment shape of RCACopilot:
 
 1. boot the simulated Transport service and index a labelled history into
-   the **sharded** retrieval index (time-window shards, exact pruning);
+   the **sharded** retrieval index (time-window shards, exact pruning,
+   parallel shard scoring, auto-selected window width, self-compaction);
 2. start a :class:`~repro.core.StreamIngestor`: alerts submitted one at a
    time are grouped into ``observe_many`` micro-batches automatically
    (flush on ``max_batch`` or ``max_latency_seconds``, whichever first);
@@ -25,6 +26,7 @@ from __future__ import annotations
 from repro.cloudsim import TransportService
 from repro.core import IndexConfig, IngestConfig, PipelineConfig, RCACopilot
 from repro.datagen import generate_corpus
+from repro.vectordb import CompactionPolicy
 
 
 FAULTS = ("HubPortExhaustion", "DeliveryHang", "FullDisk", "CodeRegression")
@@ -35,21 +37,39 @@ def main() -> None:
     service = TransportService(seed=11)
     service.warm_up(hours=1.0)
     config = PipelineConfig(
-        index=IndexConfig(backend="sharded", window_days=20.0),
+        # `sharded` is the default backend; spelled out here with the perf
+        # knobs: window_days=None auto-derives the shard width from the
+        # history, max_workers=None scores a wave's shards on one worker
+        # per core, and the compaction policy keeps the layout balanced as
+        # feedback keeps appending incidents.
+        index=IndexConfig(
+            backend="sharded",
+            window_days=None,
+            max_workers=None,
+            compaction=CompactionPolicy(
+                min_entries=8, max_entries=128, auto=True, check_every=64
+            ),
+        ),
         ingest=IngestConfig(max_batch=4, max_latency_seconds=0.2),
     )
     copilot = RCACopilot(service.hub, config=config)
     history = generate_corpus(
         total_incidents=150, total_categories=40, seed=3, duration_days=180.0
     )
-    layout = history.shard_counts(config.index.window_days)
-    print(f"planned shard layout ({config.index.window_days:g}-day windows): {layout}")
     copilot.index_history(history)
+    window_days = copilot.prediction.resolved_window_days
+    print(f"auto-selected shard width: {window_days:g} days")
+    print(
+        f"planned shard layout ({window_days:g}-day windows): "
+        f"{history.shard_counts(window_days)}"
+    )
     stats = copilot.prediction.index.stats()
     print(
         f"indexed {int(stats['entries'])} incidents into "
         f"{int(stats['shard_count'])} time-window shards "
-        f"(largest: {int(stats['max_shard_size'])} entries)"
+        f"(largest: {int(stats['max_shard_size'])}, "
+        f"median: {int(stats['median_shard_size'])} entries); "
+        f"scoring with {int(stats['max_workers'])} worker(s)"
     )
 
     print("\n== 2. Stream alerts through the micro-batching ingestor ==")
@@ -97,7 +117,16 @@ def main() -> None:
     index_stats = copilot.prediction.index.stats()
     print(
         f"retrieval scanned {index_stats['scanned_shard_ratio']:.0%} of "
-        f"(query, shard) pairs across {int(index_stats['queries'])} queries"
+        f"(query, shard) pairs across {int(index_stats['queries'])} queries "
+        f"({int(index_stats['shards_pruned'])} shard visits pruned by the "
+        f"exact score bound, {int(index_stats['max_workers'])} scoring "
+        f"worker(s))"
+    )
+    print(
+        f"compaction: {int(index_stats['compactions'])} pass(es), "
+        f"{int(index_stats['shards_merged'])} shards merged, "
+        f"{int(index_stats['shards_split'])} split; median shard now "
+        f"{int(index_stats['median_shard_size'])} entries"
     )
 
 

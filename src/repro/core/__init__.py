@@ -20,7 +20,12 @@ from .errors import (
     RCACopilotError,
 )
 from .pipeline import DiagnosisReport, RCACopilot
-from .prediction import CacheStats, PredictionOutcome, PredictionStage
+from .prediction import (
+    CacheStats,
+    PredictionOutcome,
+    PredictionStage,
+    select_window_days,
+)
 from .streaming import IngestStats, StreamIngestor
 
 __all__ = [
@@ -44,6 +49,7 @@ __all__ = [
     "CacheStats",
     "PredictionOutcome",
     "PredictionStage",
+    "select_window_days",
     "IngestStats",
     "StreamIngestor",
 ]

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Optional
 
-from ..vectordb import DEFAULT_ALPHA, DEFAULT_K, DEFAULT_WINDOW_DAYS
+from ..vectordb import DEFAULT_ALPHA, DEFAULT_K, CompactionPolicy
 
 
 class ContextSource(str, Enum):
@@ -64,24 +65,41 @@ class IndexConfig:
     """Knobs of the retrieval index behind the prediction stage.
 
     The index backend is pluggable (the :class:`~repro.vectordb.VectorIndex`
-    protocol): ``flat`` keeps the whole history in one matrix, ``sharded``
-    partitions it into time-window shards and prunes temporally irrelevant
-    shards per query with an exact score bound.  Both return identical
-    neighbours; ``sharded`` scales retrieval to multi-100k histories.
+    protocol): ``sharded`` — the default — partitions the history into
+    time-window shards, prunes temporally irrelevant shards per query with
+    an exact score bound, scores eligible shards on a worker pool, and
+    self-compacts skewed layouts; ``flat`` keeps the whole history in one
+    matrix.  Both return identical neighbours; ``sharded`` scales retrieval
+    to multi-100k histories.
     """
 
-    #: Index layout: ``flat`` (single matrix) or ``sharded`` (time windows).
-    backend: str = "flat"
+    #: Index layout: ``sharded`` (time windows, the default) or ``flat``
+    #: (single matrix).
+    backend: str = "sharded"
     #: Width of each time-window shard, in days (sharded backend only).
-    window_days: float = DEFAULT_WINDOW_DAYS
+    #: None (the default) derives it from the indexed history's
+    #: :meth:`~repro.incidents.IncidentStore.shard_counts`, targeting a
+    #: median shard size (see :func:`~repro.core.prediction.select_window_days`).
+    window_days: Optional[float] = None
+    #: Worker threads scoring a scan wave's shards concurrently (sharded
+    #: backend only).  None picks the machine's core count (capped at 16,
+    #: since a wave submits one task per nominated shard); 1 forces the
+    #: sequential path.  Results are identical either way.
+    max_workers: Optional[int] = None
+    #: Shard merge/split thresholds and the auto-compaction trigger
+    #: (sharded backend only); None uses :class:`CompactionPolicy` defaults
+    #: (compaction available via ``compact()`` but not auto-triggered).
+    compaction: Optional[CompactionPolicy] = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("flat", "sharded"):
             raise ValueError(
                 f"unknown index backend: {self.backend!r} (expected 'flat' or 'sharded')"
             )
-        if self.window_days <= 0:
+        if self.window_days is not None and self.window_days <= 0:
             raise ValueError("window_days must be positive")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be positive (or None for auto)")
 
 
 @dataclass

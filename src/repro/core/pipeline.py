@@ -91,6 +91,7 @@ class RCACopilot:
             config=self.config.prediction,
             embedding_backend=self.config.embedding_backend,
             index_config=self.config.index,
+            hub=hub,
         )
         self.history = IncidentStore()
         self._indexed = False

@@ -45,7 +45,7 @@ from ..llm import (
     SimulatedLLM,
 )
 from ..telemetry import TelemetryHub
-from ..vectordb import SimilarityConfig, VectorIndex, build_index
+from ..vectordb import DEFAULT_WINDOW_DAYS, SimilarityConfig, VectorIndex, build_index
 from .config import ContextSource, IndexConfig, PredictionConfig
 from .errors import NotFittedError
 
@@ -53,6 +53,41 @@ from .errors import NotFittedError
 def _content_key(text: str) -> str:
     """Content-addressed cache key: SHA-256 of the exact text."""
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+#: Median shard size the automatic window selection aims for.  Around 2k
+#: entries a shard's matrix product amortizes the per-shard visit overhead
+#: while staying small enough that pruning skips real work.
+AUTO_WINDOW_TARGET_MEDIAN = 2048
+#: Never auto-select a window so wide the history splits into fewer shards
+#: than this (pruning needs shards to skip).
+AUTO_WINDOW_MIN_SHARDS = 4
+
+
+def select_window_days(
+    history: IncidentStore, target_median: int = AUTO_WINDOW_TARGET_MEDIAN
+) -> float:
+    """Derive a sharded-index window width from a history's time layout.
+
+    Uses :meth:`IncidentStore.shard_counts` to preview the shard layout at
+    candidate widths: starting from the widest window that still yields
+    :data:`AUTO_WINDOW_MIN_SHARDS` shards over the history's span, the
+    width is halved until the *median* shard holds at most
+    ``target_median`` incidents.  Dense histories therefore get narrow
+    windows (many prunable shards), sparse ones get wide windows (no
+    per-shard overhead for nothing).
+    """
+    counts = history.shard_counts(1.0)
+    if not counts:
+        return DEFAULT_WINDOW_DAYS
+    span_days = max(counts) - min(counts) + 1
+    window = max(span_days / AUTO_WINDOW_MIN_SHARDS, 1.0)
+    while window > 1.0:
+        sizes = sorted(history.shard_counts(window).values())
+        if sizes[len(sizes) // 2] <= target_median:
+            break
+        window /= 2.0
+    return max(window, 1.0)
 
 
 @dataclass
@@ -100,10 +135,19 @@ class PredictionStage:
         embedding_backend: str = "fasttext",
         embedder=None,
         index_config: Optional[IndexConfig] = None,
+        hub: Optional[TelemetryHub] = None,
     ) -> None:
         self.model = model or SimulatedLLM()
         self.config = config or PredictionConfig()
         self.index_config = index_config or IndexConfig()
+        #: Optional telemetry hub for decisions taken inside the stage
+        #: (e.g. the automatic ``window_days`` choice); metric/stat exports
+        #: still go through the explicit ``export_*_metrics`` calls.
+        self.hub = hub
+        #: The shard window actually used by the live index (set by
+        #: :meth:`index_history`; equals the configured value unless the
+        #: config left it to the automatic selection).
+        self.resolved_window_days: Optional[float] = None
         self.summarizer = DiagnosticSummarizer(
             self.model,
             min_words=self.config.summary_min_words,
@@ -284,6 +328,34 @@ class PredictionStage:
         self._embedding_cache.clear()
         self._warm_summaries(labelled)
         vectors = self._embed_texts(texts)
+        window_days = self.index_config.window_days
+        if window_days is None and self.index_config.backend == "sharded":
+            # Size the windows for what actually gets indexed: the labelled
+            # subset, not the full history.
+            labelled_history = (
+                history if len(labelled) == len(history) else IncidentStore(labelled)
+            )
+            window_days = select_window_days(labelled_history)
+            if self.hub is not None:
+                now = time.time()
+                self.hub.emit_metric(
+                    "rcacopilot.index.window_days_auto",
+                    machine="prediction-stage",
+                    timestamp=now,
+                    value=float(window_days),
+                    unit="days",
+                )
+                self.hub.emit_log(
+                    timestamp=now,
+                    level="INFO",
+                    component="prediction-stage",
+                    machine="prediction-stage",
+                    message=(
+                        f"auto-selected window_days={window_days:g} for the "
+                        f"sharded index ({len(labelled)} labelled incidents)"
+                    ),
+                )
+        self.resolved_window_days = window_days
         self.index = build_index(
             self.index_config.backend,
             similarity=SimilarityConfig(
@@ -291,7 +363,9 @@ class PredictionStage:
                 k=self.config.k,
                 diverse_categories=self.config.diverse_categories,
             ),
-            window_days=self.index_config.window_days,
+            window_days=window_days,
+            max_workers=self.index_config.max_workers,
+            compaction=self.index_config.compaction,
         )
         self._summaries = {}
         summaries = [self._summary_for(incident) for incident in labelled]

@@ -4,7 +4,9 @@ Retrieval is pluggable behind the :class:`VectorIndex` protocol: the flat
 single-matrix index (:class:`FlatVectorIndex`) and the time-window sharded
 index (:class:`ShardedVectorIndex`) return identical neighbours; the sharded
 layout additionally prunes temporally irrelevant shards with an exact score
-bound and persists shards independently.
+bound, scores a scan wave's eligible shards on a worker pool
+(``max_workers``), self-compacts skewed layouts (:class:`CompactionPolicy`)
+and persists shards independently.
 """
 
 from .index import (
@@ -14,7 +16,12 @@ from .index import (
     load_index,
 )
 from .knn import NearestNeighborSearch, Neighbor, select_complete_order
-from .sharded import DEFAULT_WINDOW_DAYS, ShardedVectorIndex, time_bucket
+from .sharded import (
+    DEFAULT_WINDOW_DAYS,
+    CompactionPolicy,
+    ShardedVectorIndex,
+    time_bucket,
+)
 from .similarity import (
     DEFAULT_ALPHA,
     DEFAULT_K,
@@ -34,6 +41,7 @@ __all__ = [
     "Neighbor",
     "select_complete_order",
     "DEFAULT_WINDOW_DAYS",
+    "CompactionPolicy",
     "ShardedVectorIndex",
     "time_bucket",
     "DEFAULT_ALPHA",

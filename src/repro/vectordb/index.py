@@ -270,6 +270,11 @@ class FlatVectorIndex:
             "entries": float(entries),
             "shard_count": 1.0,
             "max_shard_size": float(entries),
+            "median_shard_size": float(entries),
+            "max_workers": 1.0,
+            "compactions": 0.0,
+            "shards_merged": 0.0,
+            "shards_split": 0.0,
             "queries": float(self._queries),
             "shards_considered": float(self._queries),
             "shards_scanned": float(self._search.scored_groups),
@@ -291,15 +296,24 @@ def build_index(
     backend: str,
     similarity: Optional[SimilarityConfig] = None,
     window_days: Optional[float] = None,
+    max_workers: Optional[int] = None,
+    compaction: Optional["CompactionPolicy"] = None,  # noqa: F821 - sharded-only
 ) -> VectorIndex:
     """Construct a retrieval index implementation by backend name.
 
     Args:
-        backend: ``"flat"`` (single matrix) or ``"sharded"`` (time-window
-            shards with exact bound-based pruning).
+        backend: ``"sharded"`` (time-window shards with exact bound-based
+            pruning — the default backend) or ``"flat"`` (single matrix).
         similarity: Scoring/selection configuration shared by both backends.
         window_days: Time-window width of each shard (sharded backend only);
             defaults to :data:`~repro.vectordb.sharded.DEFAULT_WINDOW_DAYS`.
+        max_workers: Worker threads scoring a scan wave's shards
+            concurrently (sharded backend only); None picks the machine's
+            core count (capped at
+            :data:`~repro.vectordb.sharded.ShardedVectorIndex.AUTO_WORKERS_CAP`),
+            1 forces sequential scoring.  Results are identical either way.
+        compaction: Merge/split thresholds and the auto-trigger policy of
+            the sharded backend (:class:`~repro.vectordb.CompactionPolicy`).
     """
     if backend == "flat":
         return FlatVectorIndex(similarity=similarity)
@@ -309,18 +323,33 @@ def build_index(
         return ShardedVectorIndex(
             similarity=similarity,
             window_days=DEFAULT_WINDOW_DAYS if window_days is None else window_days,
+            max_workers=max_workers,
+            compaction=compaction,
         )
     raise ValueError(f"unknown index backend: {backend!r} (expected 'flat' or 'sharded')")
 
 
-def load_index(path: str, similarity: Optional[SimilarityConfig] = None) -> VectorIndex:
+def load_index(
+    path: str,
+    similarity: Optional[SimilarityConfig] = None,
+    max_workers: Optional[int] = None,
+    compaction: Optional["CompactionPolicy"] = None,  # noqa: F821 - sharded-only
+) -> VectorIndex:
     """Re-open a persisted index, dispatching on its on-disk layout.
 
     A sharded index is a directory holding one ``.npz`` per shard plus a
-    ``manifest.json``; a flat index is a single ``.npz`` file.
+    ``manifest.json``; a flat index is a single ``.npz`` file.  Runtime
+    knobs are not persisted, so a sharded reload must be handed its
+    ``max_workers``/``compaction`` settings again (a flat index ignores
+    them).
     """
     if os.path.isdir(path) and os.path.exists(os.path.join(path, SHARDED_MANIFEST)):
         from .sharded import ShardedVectorIndex
 
-        return ShardedVectorIndex.load(path, similarity=similarity)
+        return ShardedVectorIndex.load(
+            path,
+            similarity=similarity,
+            max_workers=max_workers,
+            compaction=compaction,
+        )
     return FlatVectorIndex.load(path, similarity=similarity)

@@ -27,6 +27,21 @@ breaks, which use the global insertion sequence exactly like the flat scan.
 With ``alpha == 0`` the bound is 1.0 and nothing is ever pruned (correct:
 without decay every era of the history matters equally).
 
+Eligible shards within one scan *wave* can be scored concurrently on a
+thread pool (``max_workers``): numpy releases the GIL inside the BLAS
+matrix product, so per-shard scoring and candidate extraction run in
+workers while every pool/state mutation stays on the calling thread,
+folded in the same deterministic order as the sequential path.  Prune
+decisions are taken against the pool state as of wave start in both modes,
+so parallel and sequential scans visit the *same* shard set and return
+identical neighbours and identical :meth:`ShardedVectorIndex.stats`.
+
+Shards self-compact: :meth:`ShardedVectorIndex.compact` merges adjacent
+cold shards below a size floor and splits hot shards above a ceiling
+(:class:`CompactionPolicy`), so the scanned-shard ratio stays bounded as a
+skewed history ages.  Compaction re-keys shards but never reorders entries
+against the global insertion sequence, so search results are unchanged.
+
 Shards persist independently: :meth:`ShardedVectorIndex.save` writes one
 ``.npz`` per shard plus a JSON manifest, so a deployment can load, ship or
 back up time ranges separately.
@@ -34,10 +49,13 @@ back up time ranges separately.
 
 from __future__ import annotations
 
+import bisect
 import json
 import math
 import os
 from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -58,15 +76,69 @@ def time_bucket(day: float, window_days: float) -> int:
     return int(math.floor(day / window_days))
 
 
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When shards are merged (cold tail) or split (hot head).
+
+    A time-window layout skews as history ages: recent windows fill up
+    while old windows stay tiny, so the per-query shard-visit overhead
+    grows without bound and one hot shard dominates scan cost.  Compaction
+    keeps shard sizes inside ``[min_entries, max_entries]`` where the data
+    allows: runs of *adjacent* shards each below ``min_entries`` are merged
+    (never past ``max_entries`` combined) and shards above ``max_entries``
+    are split at day boundaries into roughly equal chunks.
+
+    With ``auto`` enabled, :meth:`ShardedVectorIndex.add_many` triggers
+    :meth:`ShardedVectorIndex.compact` after every ``check_every`` inserted
+    entries; compaction never changes search results, only the layout.
+    """
+
+    #: Merge adjacent shards smaller than this (0 disables merging).
+    min_entries: int = 256
+    #: Split shards larger than this.
+    max_entries: int = 8192
+    #: Run compact() automatically as entries are inserted.
+    auto: bool = False
+    #: Auto-trigger cadence, counted in inserted entries.
+    check_every: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.min_entries < 0:
+            raise ValueError("min_entries must be non-negative")
+        if self.max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if self.min_entries and self.max_entries < 2 * self.min_entries:
+            raise ValueError(
+                "max_entries must be at least twice min_entries, or merged "
+                "shards would immediately re-qualify for splitting"
+            )
+        if self.check_every <= 0:
+            raise ValueError("check_every must be positive")
+
+
 class _Shard:
-    """One time-window shard: a VectorStore plus sharding bookkeeping."""
+    """One time-window shard: a VectorStore plus sharding bookkeeping.
+
+    ``start_day``/``end_day`` are the half-open day range the shard *routes*
+    (new inserts whose creation day falls inside it land here); fresh shards
+    cover exactly one ``window_days`` bucket, compacted shards cover merged
+    or subdivided ranges.  ``min_day``/``max_day`` track the actual stored
+    entries and stay the (tighter) basis of the pruning bound.
+    """
 
     __slots__ = (
         "key", "store", "search", "seqs", "cat_codes", "cat_counts",
-        "min_day", "max_day", "_seq_array", "_code_array", "_groups",
+        "min_day", "max_day", "start_day", "end_day",
+        "_seq_array", "_code_array", "_groups",
     )
 
-    def __init__(self, key: int, similarity: SimilarityConfig) -> None:
+    def __init__(
+        self,
+        key: int,
+        similarity: SimilarityConfig,
+        start_day: float = -math.inf,
+        end_day: float = math.inf,
+    ) -> None:
         self.key = key
         self.store = VectorStore()
         self.search = NearestNeighborSearch(self.store, similarity)
@@ -75,6 +147,8 @@ class _Shard:
         self.cat_counts: Counter = Counter()
         self.min_day = math.inf
         self.max_day = -math.inf
+        self.start_day = start_day
+        self.end_day = end_day
         self._seq_array: Optional[np.ndarray] = None
         self._code_array: Optional[np.ndarray] = None
         self._groups: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
@@ -188,6 +262,43 @@ class _QueryState:
             self.covered_min = float(self.best_scores.min())
 
 
+class _Candidates:
+    """One query's extracted candidates from one scored shard.
+
+    The immutable hand-off between the (parallelisable) extraction phase
+    and the (serial) fold phase of a scan wave: everything a worker computed
+    from the shard's score row, with no references into mutable query
+    state.  ``rows`` index the shard's store; ``best_*`` carry the
+    per-category argmax payload (None when diversity is off or no row
+    survived the filters).
+    """
+
+    __slots__ = (
+        "entries_scanned", "scores", "seqs", "rows",
+        "best_codes", "best_scores", "best_seqs", "best_rows",
+    )
+
+    def __init__(
+        self,
+        entries_scanned: int,
+        scores: np.ndarray,
+        seqs: np.ndarray,
+        rows: np.ndarray,
+        best_codes: Optional[np.ndarray] = None,
+        best_scores: Optional[np.ndarray] = None,
+        best_seqs: Optional[np.ndarray] = None,
+        best_rows: Optional[np.ndarray] = None,
+    ) -> None:
+        self.entries_scanned = entries_scanned
+        self.scores = scores
+        self.seqs = seqs
+        self.rows = rows
+        self.best_codes = best_codes
+        self.best_scores = best_scores
+        self.best_seqs = best_seqs
+        self.best_rows = best_rows
+
+
 class ShardedVectorIndex:
     """Entries partitioned by time window; queries scan only relevant shards.
 
@@ -203,16 +314,33 @@ class ShardedVectorIndex:
         self,
         similarity: Optional[SimilarityConfig] = None,
         window_days: float = DEFAULT_WINDOW_DAYS,
+        max_workers: Optional[int] = None,
+        compaction: Optional[CompactionPolicy] = None,
     ) -> None:
         if window_days <= 0:
             raise ValueError("window_days must be positive")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive (or None for auto)")
         self.window_days = float(window_days)
+        #: Worker threads scoring a wave's shards concurrently; None picks
+        #: the machine's core count, 1 forces the sequential path.  Results
+        #: and stats are identical in both modes.
+        self.max_workers = max_workers
+        self.compaction = compaction or CompactionPolicy()
         self._similarity = similarity or SimilarityConfig()
         self._shards: Dict[int, _Shard] = {}
         self._locator: Dict[str, int] = {}  # incident id -> shard key
         self._next_seq = 0
         self._dim: Optional[int] = None
         self._cat_code: Dict[str, int] = {}
+        # routing ranges: (start_day, end_day, key) sorted by start_day
+        self._ranges: List[Tuple[float, float, int]] = []
+        self._range_starts: List[float] = []
+        self._next_shard_key = 0
+        self._inserts_since_compact = 0
+        # lazily spawned scoring pool, reused across search_many calls
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_workers = 0
         # scan statistics (cumulative over the index lifetime)
         self._queries = 0
         self._shards_considered = 0
@@ -221,6 +349,60 @@ class ShardedVectorIndex:
         self._shards_skipped = 0
         self._entries_scanned = 0
         self._entries_considered = 0
+        # compaction statistics (cumulative over the index lifetime)
+        self._compactions = 0
+        self._shards_merged = 0
+        self._shards_split = 0
+
+    #: Ceiling of the automatic (``max_workers=None``) pool size.  A wave
+    #: submits one task per nominated shard — typically a handful after
+    #: pruning — so beyond this the extra threads of a many-core host
+    #: would only ever idle.  An explicit ``max_workers`` is honoured as
+    #: given.
+    AUTO_WORKERS_CAP = 16
+
+    def _effective_workers(self) -> int:
+        """Worker threads a scan wave may use (1 means sequential)."""
+        if self.max_workers is not None:
+            return max(1, int(self.max_workers))
+        return max(1, min(os.cpu_count() or 1, self.AUTO_WORKERS_CAP))
+
+    def _pool_for(self, workers: int) -> ThreadPoolExecutor:
+        """The shared scoring pool, (re)spawned lazily on first parallel wave.
+
+        Cached on the index so a streaming deployment does not pay thread
+        spawn/teardown on every micro-batch; a changed ``max_workers`` or a
+        :meth:`close` respawns it on next use.
+        """
+        if self._executor is None or self._executor_workers != workers:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="shard-score"
+            )
+            self._executor_workers = workers
+        return self._executor
+
+    def close(self) -> None:
+        """Release the scoring worker pool (idempotent; respawns on use)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self._executor_workers = 0
+
+    def __getstate__(self) -> dict:
+        # Worker pools cannot be copied or pickled; the copy respawns its
+        # own on first parallel wave.
+        state = dict(self.__dict__)
+        state["_executor"] = None
+        state["_executor_workers"] = 0
+        return state
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter-shutdown races
+            pass
 
     # --------------------------------------------------------------- protocol
     @property
@@ -271,12 +453,45 @@ class ShardedVectorIndex:
             self._cat_code[category] = code
         return code
 
+    def _rebuild_ranges(self) -> None:
+        self._ranges = sorted(
+            (shard.start_day, shard.end_day, key)
+            for key, shard in self._shards.items()
+        )
+        self._range_starts = [start for start, _, _ in self._ranges]
+
+    def _next_key(self) -> int:
+        """A shard key no live or bucket-derived shard has claimed yet."""
+        key = self._next_shard_key
+        if self._shards:
+            key = max(key, max(self._shards) + 1)
+        self._next_shard_key = key + 1
+        return key
+
     def _shard_for(self, created_day: float) -> _Shard:
-        key = time_bucket(created_day, self.window_days)
-        shard = self._shards.get(key)
-        if shard is None:
-            shard = _Shard(key, self._similarity)
-            self._shards[key] = shard
+        """The shard routing ``created_day``, created on first use.
+
+        Fresh shards cover exactly one ``window_days`` bucket (key == time
+        bucket, like the original layout); once compaction has merged or
+        split shards, their recorded day ranges take precedence, so inserts
+        into a compacted region land in the compacted shard instead of
+        resurrecting the pre-compaction bucket.
+        """
+        position = bisect.bisect_right(self._range_starts, created_day) - 1
+        if position >= 0:
+            start, end, key = self._ranges[position]
+            if start <= created_day < end:
+                return self._shards[key]
+        bucket = time_bucket(created_day, self.window_days)
+        key = bucket if bucket not in self._shards else self._next_key()
+        shard = _Shard(
+            key,
+            self._similarity,
+            start_day=bucket * self.window_days,
+            end_day=(bucket + 1) * self.window_days,
+        )
+        self._shards[key] = shard
+        self._rebuild_ranges()
         return shard
 
     def add(
@@ -332,12 +547,15 @@ class ShardedVectorIndex:
             raise ValueError(
                 f"vector dimension {vectors.shape[1]} does not match store dimension {self._dim}"
             )
-        # Group batch rows by destination shard, preserving batch order.
+        # Group batch rows by destination *shard* (not bucket: a compacted
+        # shard can cover several buckets), preserving batch order within
+        # each group so global sequence numbers stay ascending per shard —
+        # the invariant the stable-sort candidate extraction relies on.
         rows_by_key: Dict[int, List[int]] = {}
         for row, day in enumerate(created_days):
-            rows_by_key.setdefault(time_bucket(float(day), self.window_days), []).append(row)
+            rows_by_key.setdefault(self._shard_for(float(day)).key, []).append(row)
         for key, rows in rows_by_key.items():
-            shard = self._shard_for(float(created_days[rows[0]]))
+            shard = self._shards[key]
             shard.store.add_many(
                 incident_ids=[incident_ids[row] for row in rows],
                 vectors=vectors[rows],
@@ -354,6 +572,13 @@ class ShardedVectorIndex:
                 shard.max_day = max(shard.max_day, day)
                 self._locator[incident_ids[row]] = key
         self._next_seq += count
+        self._inserts_since_compact += count
+        if (
+            self.compaction.auto
+            and self._inserts_since_compact >= self.compaction.check_every
+        ):
+            self._inserts_since_compact = 0
+            self.compact()
 
     # ------------------------------------------------------------------ update
     def update_category(self, incident_id: str, category: str) -> None:
@@ -516,6 +741,15 @@ class ShardedVectorIndex:
             exclude_ids[qi] if exclude_ids is not None else None
             for qi in range(total_queries)
         ]
+        # Parallel mode: a wave's shards are independent — every query
+        # nominates exactly one shard per wave and prune decisions were
+        # taken against the pool state as of wave start — so scoring and
+        # candidate extraction fan out to worker threads (numpy releases
+        # the GIL inside the BLAS product) while every state mutation is
+        # folded on this thread in sorted-key order, exactly like the
+        # sequential path.  Parity is structural: both modes run the same
+        # extract/fold code, only the extraction scheduling differs.
+        workers = self._effective_workers()
         while True:
             nominations: Dict[int, List[int]] = {}
             for qi, state in enumerate(states):
@@ -530,22 +764,44 @@ class ShardedVectorIndex:
                     nominations.setdefault(key, []).append(qi)
             if not nominations:
                 break
-            for key in sorted(nominations):
-                qrows = nominations[key]
+            keys = sorted(nominations)
+            if workers > 1 and len(keys) > 1:
+                pool = self._pool_for(workers)
+                futures = [
+                    pool.submit(
+                        self._extract_shard,
+                        self._shards[key],
+                        nominations[key],
+                        queries,
+                        days,
+                        excludes,
+                        history_before_day,
+                        categories,
+                        pool_size,
+                        diverse,
+                    )
+                    for key in keys
+                ]
+                extracted = [future.result() for future in futures]
+            else:
+                extracted = [
+                    self._extract_shard(
+                        self._shards[key],
+                        nominations[key],
+                        queries,
+                        days,
+                        excludes,
+                        history_before_day,
+                        categories,
+                        pool_size,
+                        diverse,
+                    )
+                    for key in keys
+                ]
+            for key, payloads in zip(keys, extracted):
                 shard = self._shards[key]
-                scores = shard.search.score_many(queries[qrows], days[qrows])
-                self._absorb_wave(
-                    states,
-                    qrows,
-                    shard,
-                    scores,
-                    excludes,
-                    history_before_day,
-                    categories,
-                    pool_size,
-                    diverse,
-                )
-                for qi in qrows:
+                for qi, candidates in zip(nominations[key], payloads):
+                    self._fold(states[qi], shard, candidates, pool_size)
                     states[qi].pos += 1
         results = [self._finalize(state, k, diverse) for state in states]
         shard_count = len(self._shards)
@@ -629,27 +885,31 @@ class ShardedVectorIndex:
                     return False
         return True
 
-    def _absorb_wave(
+    def _extract_shard(
         self,
-        states: List[_QueryState],
-        qrows: List[int],
         shard: _Shard,
-        scores: np.ndarray,
+        qrows: List[int],
+        queries: np.ndarray,
+        days: np.ndarray,
         excludes: List[Optional[Set[str]]],
         history_before_day: Optional[float],
         categories: Optional[Set[str]],
         pool_size: int,
         diverse: bool,
-    ) -> None:
-        """Fold one scored shard into every nominating query's pool.
+    ) -> List[_Candidates]:
+        """Score one shard and extract candidates for its nominating queries.
 
-        The hot path (no look-ahead cut-off, no category filter, no excluded
-        id stored in *this* shard) extracts candidates for the whole
-        sub-batch at once — one batched ``argpartition`` for the top pools
-        and one ``reduceat`` chain for the per-category argmaxes — so
-        per-query work shrinks to the small pool merge.  Queries that do
-        filter rows of this shard take the exact per-query path.
+        Read-only with respect to query state, so a wave's shards can run
+        on worker threads concurrently; the returned payloads are folded
+        serially by :meth:`_fold`.  The hot path (no look-ahead cut-off, no
+        category filter, no excluded id stored in *this* shard) extracts
+        candidates for the whole sub-batch at once — one batched
+        ``argpartition`` for the top pools and one ``reduceat`` chain for
+        the per-category argmaxes.  Queries that do filter rows of this
+        shard take the exact per-query path.
         """
+        scores = shard.search.score_many(queries[qrows], days[qrows])
+        payloads: List[Optional[_Candidates]] = [None] * len(qrows)
         fast_rows: List[int] = []
         if history_before_day is None and categories is None:
             for position, qi in enumerate(qrows):
@@ -658,20 +918,20 @@ class ShardedVectorIndex:
                     self._locator.get(incident_id) == shard.key
                     for incident_id in exclude
                 ):
-                    self._absorb(
-                        states[qi], shard, scores[position], exclude,
+                    payloads[position] = self._extract_filtered(
+                        shard, scores[position], exclude,
                         history_before_day, categories, pool_size, diverse,
                     )
                 else:
                     fast_rows.append(position)
         else:
             for position, qi in enumerate(qrows):
-                self._absorb(
-                    states[qi], shard, scores[position], excludes[qi],
+                payloads[position] = self._extract_filtered(
+                    shard, scores[position], excludes[qi],
                     history_before_day, categories, pool_size, diverse,
                 )
         if not fast_rows:
-            return
+            return payloads
         sub = scores[fast_rows]
         total = sub.shape[1]
         seqs = shard.seq_array()
@@ -706,9 +966,6 @@ class ShardedVectorIndex:
             first = np.minimum.reduceat(positions, starts, axis=1)
             argmax_matrix = perm[first]
         for offset, position in enumerate(fast_rows):
-            state = states[qrows[position]]
-            state.scanned += 1
-            self._entries_scanned += total
             scores_row = sub[offset]
             if len(tie_fix_rows) and offset in tie_fix_rows:
                 threshold = boundary[offset]
@@ -720,25 +977,26 @@ class ShardedVectorIndex:
             else:
                 top = top_matrix[offset]
             if argmax_matrix is None:
-                keep_rows = top
+                payloads[position] = _Candidates(
+                    total, scores_row[top], seqs[top], top.astype(np.int64)
+                )
             else:
                 argmax_rows = argmax_matrix[offset]
-                state.update_category_bests(
-                    group_codes,
-                    scores_row[argmax_rows],
-                    seqs[argmax_rows],
-                    argmax_rows.astype(np.int64),
-                    shard.key,
-                )
                 keep_rows = np.union1d(top, argmax_rows)
-            self._merge_pool(
-                state, shard.key, scores_row[keep_rows], seqs[keep_rows],
-                keep_rows.astype(np.int64), pool_size,
-            )
+                payloads[position] = _Candidates(
+                    total,
+                    scores_row[keep_rows],
+                    seqs[keep_rows],
+                    keep_rows.astype(np.int64),
+                    best_codes=group_codes,
+                    best_scores=scores_row[argmax_rows],
+                    best_seqs=seqs[argmax_rows],
+                    best_rows=argmax_rows.astype(np.int64),
+                )
+        return payloads
 
-    def _absorb(
+    def _extract_filtered(
         self,
-        state: _QueryState,
         shard: _Shard,
         scores_row: np.ndarray,
         exclude: Optional[Set[str]],
@@ -746,15 +1004,13 @@ class ShardedVectorIndex:
         categories: Optional[Set[str]],
         pool_size: int,
         diverse: bool,
-    ) -> None:
-        """Fold one *filtered* scored shard into a query's candidate pool.
+    ) -> _Candidates:
+        """Extract one *filtered* scored shard's candidates for one query.
 
         Only called when some filter actually removes rows of this shard (a
         look-ahead cut-off, a category filter, or an excluded id stored
-        here); unfiltered shards take :meth:`_absorb_wave`'s batched path.
+        here); unfiltered shards take :meth:`_extract_shard`'s batched path.
         """
-        state.scanned += 1
-        self._entries_scanned += len(shard.store)
         total = len(shard.store)
         mask: Optional[np.ndarray] = None
         if history_before_day is not None:
@@ -773,10 +1029,11 @@ class ShardedVectorIndex:
                     if mask is None:
                         mask = np.ones(total, dtype=bool)
                     mask[row] = False
-        assert mask is not None, "unfiltered shards must go through _absorb_wave"
+        assert mask is not None, "unfiltered shards must go through _extract_shard"
         eligible = np.flatnonzero(mask)
         if eligible.shape[0] == 0:
-            return
+            empty = np.zeros(0, dtype=np.int64)
+            return _Candidates(total, np.zeros(0), empty, empty)
         elig_scores = scores_row[eligible]
         elig_seqs = shard.seq_array()[eligible]
         # Rows are appended in insertion order, so within a shard the
@@ -784,26 +1041,63 @@ class ShardedVectorIndex:
         # of the negated scores is the flat scan's (-score, seq) order.
         order = np.argsort(-elig_scores, kind="stable")
         keep_rows = order[:pool_size]
-        if diverse:
-            codes_in_order = shard.code_array()[eligible][order]
-            _, first = np.unique(codes_in_order, return_index=True)
-            argmax_rows = order[first]
-            keep_rows = np.union1d(keep_rows, argmax_rows)
-            state.update_category_bests(
-                codes_in_order[first],
-                elig_scores[argmax_rows],
-                elig_seqs[argmax_rows],
-                eligible[argmax_rows].astype(np.int64),
-                shard.key,
+        if not diverse:
+            return _Candidates(
+                total,
+                elig_scores[keep_rows],
+                elig_seqs[keep_rows],
+                eligible[keep_rows].astype(np.int64),
             )
-        self._merge_pool(
-            state,
-            shard.key,
+        codes_in_order = shard.code_array()[eligible][order]
+        _, first = np.unique(codes_in_order, return_index=True)
+        argmax_rows = order[first]
+        keep_rows = np.union1d(keep_rows, argmax_rows)
+        return _Candidates(
+            total,
             elig_scores[keep_rows],
             elig_seqs[keep_rows],
             eligible[keep_rows].astype(np.int64),
-            pool_size,
+            best_codes=codes_in_order[first],
+            best_scores=elig_scores[argmax_rows],
+            best_seqs=elig_seqs[argmax_rows],
+            best_rows=eligible[argmax_rows].astype(np.int64),
         )
+
+    def _fold(
+        self,
+        state: _QueryState,
+        shard: _Shard,
+        candidates: _Candidates,
+        pool_size: int,
+    ) -> None:
+        """Fold one extracted shard payload into a query's state (serial).
+
+        The only place scan waves mutate query pools, per-category bests or
+        the index-lifetime counters — always on the calling thread, in
+        sorted-shard-key order, regardless of how many workers extracted.
+        That makes the scanned/pruned statistics race-free by construction
+        (per-shard payloads are the "per-worker accumulators", reduced here
+        at wave end) and bit-identical between the two execution modes.
+        """
+        state.scanned += 1
+        self._entries_scanned += candidates.entries_scanned
+        if candidates.best_codes is not None:
+            state.update_category_bests(
+                candidates.best_codes,
+                candidates.best_scores,
+                candidates.best_seqs,
+                candidates.best_rows,
+                shard.key,
+            )
+        if candidates.rows.shape[0]:
+            self._merge_pool(
+                state,
+                shard.key,
+                candidates.scores,
+                candidates.seqs,
+                candidates.rows,
+                pool_size,
+            )
 
     @staticmethod
     def _merge_pool(
@@ -863,6 +1157,200 @@ class ShardedVectorIndex:
             )
         return neighbors
 
+    # ------------------------------------------------------------- compaction
+    def _build_shard(
+        self,
+        start_day: float,
+        end_day: float,
+        entries: List[VectorEntry],
+        seqs: List[int],
+    ) -> _Shard:
+        """A fresh shard holding ``entries`` (already in ascending-seq order)."""
+        shard = _Shard(self._next_key(), self._similarity, start_day, end_day)
+        shard.store.add_many(
+            incident_ids=[entry.incident_id for entry in entries],
+            vectors=np.stack([entry.vector for entry in entries]),
+            created_days=[entry.created_day for entry in entries],
+            categories=[entry.category for entry in entries],
+            texts=[entry.text for entry in entries],
+        )
+        shard.seqs = list(seqs)
+        for entry in entries:
+            shard.cat_codes.append(self._code_for(entry.category))
+            shard.cat_counts[entry.category] += 1
+            shard.min_day = min(shard.min_day, entry.created_day)
+            shard.max_day = max(shard.max_day, entry.created_day)
+        return shard
+
+    def _adopt(self, shard: _Shard) -> None:
+        self._shards[shard.key] = shard
+        for entry in shard.store:
+            self._locator[entry.incident_id] = shard.key
+
+    def _split_shard(self, shard: _Shard, ceiling: int, floor: int) -> List[_Shard]:
+        """Split one hot shard into day-bounded chunks of roughly equal size.
+
+        Cuts are placed at positions where the (sorted) creation day
+        strictly increases, so the resulting routing ranges stay disjoint;
+        rows inside each chunk keep their original (ascending-seq) order.
+        When every entry shares one creation day no cut exists and the
+        shard is left alone — splitting such a shard would break routing.
+        """
+        size = len(shard.store)
+        target = max(1, floor, ceiling // 2)
+        chunk_count = math.ceil(size / target)
+        if chunk_count <= 1:
+            return [shard]
+        days = shard.store.created_days()
+        order = np.argsort(days, kind="stable")
+        sorted_days = days[order]
+        cut_positions: List[int] = []
+        for chunk in range(1, chunk_count):
+            ideal = round(chunk * size / chunk_count)
+            position = ideal
+            while position < size and sorted_days[position] == sorted_days[position - 1]:
+                position += 1
+            if position >= size:
+                position = ideal
+                while position > 0 and sorted_days[position] == sorted_days[position - 1]:
+                    position -= 1
+                if position <= 0:
+                    continue
+            cut_positions.append(position)
+        cut_days = sorted({float(sorted_days[position]) for position in cut_positions})
+        if not cut_days:
+            return [shard]
+        edges = [shard.start_day, *cut_days, shard.end_day]
+        entries = shard.store.entries()
+        pieces: List[_Shard] = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            rows = [
+                row for row in range(size)
+                if lo <= entries[row].created_day < hi
+            ]
+            if not rows:
+                continue
+            pieces.append(
+                self._build_shard(
+                    lo, hi,
+                    [entries[row] for row in rows],
+                    [shard.seqs[row] for row in rows],
+                )
+            )
+        # Stretch the first/last piece to the shard's full routing range so
+        # the union of ranges is preserved exactly.
+        pieces[0].start_day = shard.start_day
+        pieces[-1].end_day = shard.end_day
+        return pieces
+
+    def _merge_shards(self, group: List[_Shard]) -> _Shard:
+        """Merge adjacent cold shards, re-sorting rows by global sequence."""
+        combined = sorted(
+            (
+                (shard.seqs[row], entry)
+                for shard in group
+                for row, entry in enumerate(shard.store.entries())
+            ),
+            key=lambda pair: pair[0],
+        )
+        return self._build_shard(
+            min(shard.start_day for shard in group),
+            max(shard.end_day for shard in group),
+            [entry for _, entry in combined],
+            [seq for seq, _ in combined],
+        )
+
+    def compact(
+        self,
+        min_entries: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> Dict[str, float]:
+        """Rebalance the shard layout: split hot shards, merge cold runs.
+
+        Splits every shard above the size ceiling at day boundaries, then
+        merges runs of time-adjacent shards below the size floor (stopping
+        before a merged shard would exceed the ceiling).  Entry metadata,
+        global sequence numbers and therefore *search results* are
+        untouched — only the layout (and the scanned-shard economics)
+        changes.  Thresholds default to the index's
+        :class:`CompactionPolicy`.
+
+        Returns:
+            A report: shards before/after, how many were merged/split, and
+            the resulting max/median shard sizes.
+        """
+        floor = self.compaction.min_entries if min_entries is None else min_entries
+        ceiling = self.compaction.max_entries if max_entries is None else max_entries
+        if ceiling <= 0:
+            raise ValueError("max_entries must be positive")
+        if floor < 0:
+            raise ValueError("min_entries must be non-negative")
+        if floor and ceiling < 2 * floor:
+            # Same invariant CompactionPolicy enforces: otherwise a split
+            # produces sub-floor pieces the merge pass can never recombine
+            # (their sum exceeds the ceiling), leaving the layout worse.
+            raise ValueError(
+                "max_entries must be at least twice min_entries, or split "
+                "pieces would immediately re-qualify for merging"
+            )
+        shards_before = len(self._shards)
+        split_sources = 0
+        merged_sources = 0
+        # ---- split pass: hot shards above the ceiling
+        for key in sorted(self._shards):
+            shard = self._shards[key]
+            if len(shard.store) <= ceiling:
+                continue
+            pieces = self._split_shard(shard, ceiling, floor)
+            if len(pieces) <= 1:
+                continue
+            del self._shards[key]
+            for piece in pieces:
+                self._adopt(piece)
+            split_sources += 1
+        # ---- merge pass: runs of time-adjacent shards below the floor
+        if floor > 0:
+            ordered = sorted(
+                self._shards.values(), key=lambda shard: (shard.start_day, shard.key)
+            )
+            groups: List[List[_Shard]] = []
+            run: List[_Shard] = []
+            run_size = 0
+            for shard in ordered:
+                size = len(shard.store)
+                if size < floor and run_size + size <= ceiling:
+                    run.append(shard)
+                    run_size += size
+                    continue
+                if len(run) >= 2:
+                    groups.append(run)
+                if size < floor:
+                    run, run_size = [shard], size
+                else:
+                    run, run_size = [], 0
+            if len(run) >= 2:
+                groups.append(run)
+            for group in groups:
+                merged = self._merge_shards(group)
+                for shard in group:
+                    del self._shards[shard.key]
+                self._adopt(merged)
+                merged_sources += len(group)
+        if split_sources or merged_sources:
+            self._compactions += 1
+            self._shards_split += split_sources
+            self._shards_merged += merged_sources
+            self._rebuild_ranges()
+        sizes = sorted(len(shard.store) for shard in self._shards.values())
+        return {
+            "shards_before": float(shards_before),
+            "shards_after": float(len(self._shards)),
+            "shards_split": float(split_sources),
+            "shards_merged": float(merged_sources),
+            "max_shard_size": float(sizes[-1] if sizes else 0),
+            "median_shard_size": float(sizes[len(sizes) // 2] if sizes else 0),
+        }
+
     # ------------------------------------------------------------ persistence
     def save(self, path: str) -> None:
         """Persist to a directory: one ``.npz`` per shard + ``manifest.json``.
@@ -877,12 +1365,21 @@ class ShardedVectorIndex:
             shard = self._shards[key]
             filename = f"shard-{key}.npz"
             shard.store.save(os.path.join(path, filename))
-            shards_meta.append({"key": key, "file": filename, "seqs": shard.seqs})
+            shards_meta.append(
+                {
+                    "key": key,
+                    "file": filename,
+                    "seqs": shard.seqs,
+                    "start_day": shard.start_day,
+                    "end_day": shard.end_day,
+                }
+            )
         manifest = {
             "format": "sharded-vector-index",
-            "version": 1,
+            "version": 2,
             "window_days": self.window_days,
             "next_seq": self._next_seq,
+            "next_shard_key": self._next_shard_key,
             "shards": shards_meta,
         }
         with open(os.path.join(path, SHARDED_MANIFEST), "w", encoding="utf-8") as handle:
@@ -890,18 +1387,38 @@ class ShardedVectorIndex:
 
     @classmethod
     def load(
-        cls, path: str, similarity: Optional[SimilarityConfig] = None
+        cls,
+        path: str,
+        similarity: Optional[SimilarityConfig] = None,
+        max_workers: Optional[int] = None,
+        compaction: Optional[CompactionPolicy] = None,
     ) -> "ShardedVectorIndex":
-        """Re-open an index written by :meth:`save`."""
+        """Re-open an index written by :meth:`save`.
+
+        Reads both manifest versions: version 2 records each shard's
+        routing day range (compacted layouts); version 1 predates
+        compaction and derives the range from the shard key and window
+        width.
+        """
         with open(os.path.join(path, SHARDED_MANIFEST), "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
         if manifest.get("format") != "sharded-vector-index":
             raise ValueError(f"not a sharded vector index: {path}")
-        index = cls(similarity=similarity, window_days=float(manifest["window_days"]))
+        index = cls(
+            similarity=similarity,
+            window_days=float(manifest["window_days"]),
+            max_workers=max_workers,
+            compaction=compaction,
+        )
         for meta in manifest["shards"]:
             key = int(meta["key"])
             store = VectorStore.load(os.path.join(path, meta["file"]))
-            shard = _Shard(key, index._similarity)
+            shard = _Shard(
+                key,
+                index._similarity,
+                start_day=float(meta.get("start_day", key * index.window_days)),
+                end_day=float(meta.get("end_day", (key + 1) * index.window_days)),
+            )
             shard.store = store
             shard.search = NearestNeighborSearch(store, index._similarity)
             shard.seqs = [int(seq) for seq in meta["seqs"]]
@@ -915,6 +1432,8 @@ class ShardedVectorIndex:
             if store.dim is not None:
                 index._dim = store.dim
         index._next_seq = int(manifest["next_seq"])
+        index._next_shard_key = int(manifest.get("next_shard_key", 0))
+        index._rebuild_ranges()
         return index
 
     # ------------------------------------------------------------------ stats
@@ -923,13 +1442,21 @@ class ShardedVectorIndex:
 
         ``scanned_shard_ratio`` / ``scanned_entry_ratio`` are cumulative over
         the index lifetime: the fraction of (query, shard) and (query, entry)
-        pairs that were actually scored rather than skipped or pruned.
+        pairs that were actually scored rather than skipped or pruned.  All
+        counters are accumulated on the thread calling ``search_many`` —
+        worker threads only extract candidates and return them by value —
+        so parallel and sequential scans report identical numbers.
         """
-        sizes = [len(shard.store) for shard in self._shards.values()]
+        sizes = sorted(len(shard.store) for shard in self._shards.values())
         return {
             "entries": float(len(self._locator)),
             "shard_count": float(len(self._shards)),
-            "max_shard_size": float(max(sizes) if sizes else 0),
+            "max_shard_size": float(sizes[-1] if sizes else 0),
+            "median_shard_size": float(sizes[len(sizes) // 2] if sizes else 0),
+            "max_workers": float(self._effective_workers()),
+            "compactions": float(self._compactions),
+            "shards_merged": float(self._shards_merged),
+            "shards_split": float(self._shards_split),
             "queries": float(self._queries),
             "shards_considered": float(self._shards_considered),
             "shards_scanned": float(self._shards_scanned),

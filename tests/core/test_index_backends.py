@@ -18,10 +18,11 @@ from repro.core import (
     PredictionStage,
     RCACopilot,
     PipelineConfig,
+    select_window_days,
 )
 from repro.llm import SimulatedLLM
 from repro.telemetry import TelemetryHub
-from repro.vectordb import FlatVectorIndex, ShardedVectorIndex
+from repro.vectordb import CompactionPolicy, FlatVectorIndex, ShardedVectorIndex
 
 
 def build_stage(backend, corpus_split, window_days=20.0):
@@ -99,6 +100,68 @@ class TestSeedCorpusParity:
             stage.update_category("INC-NOT-THERE", "Whatever")
 
 
+class TestShardedByDefault:
+    """The sharded index is the default fast path for every workload."""
+
+    def test_default_config_selects_sharded_with_auto_window(self, corpus_split):
+        from repro.incidents import IncidentStore
+
+        train, _ = corpus_split
+        assert IndexConfig().backend == "sharded"
+        assert IndexConfig().window_days is None
+        stage = PredictionStage(model=SimulatedLLM(), config=PredictionConfig())
+        stage.index_history(train)
+        assert isinstance(stage.index, ShardedVectorIndex)
+        # The window is sized for the *labelled* subset — what gets indexed.
+        assert stage.resolved_window_days == select_window_days(
+            IncidentStore(train.labelled())
+        )
+        assert stage.index.window_days == stage.resolved_window_days
+
+    def test_auto_window_targets_median_shard_size(self, corpus_split):
+        train, _ = corpus_split
+        window = select_window_days(train)
+        counts = sorted(train.shard_counts(window).values())
+        assert counts[len(counts) // 2] <= 2048
+        assert window >= 1.0
+        # An explicit window always wins over the automatic choice.
+        stage = PredictionStage(
+            model=SimulatedLLM(),
+            config=PredictionConfig(),
+            index_config=IndexConfig(backend="sharded", window_days=20.0),
+        )
+        stage.index_history(train)
+        assert stage.resolved_window_days == 20.0
+
+    def test_auto_window_choice_is_logged_through_hub(self, small_corpus):
+        hub = TelemetryHub()
+        copilot = RCACopilot(hub)
+        train, _ = small_corpus.chronological_split(0.75)
+        copilot.index_history(train)
+        value = hub.metrics.latest(
+            "rcacopilot.index.window_days_auto", "prediction-stage"
+        )
+        assert value is not None and value >= 1.0
+        assert any(
+            "auto-selected window_days" in record.message for record in hub.logs
+        )
+
+    def test_index_config_passes_workers_and_compaction_through(self, corpus_split):
+        train, _ = corpus_split
+        policy = CompactionPolicy(min_entries=10, max_entries=50, auto=True)
+        stage = PredictionStage(
+            model=SimulatedLLM(),
+            config=PredictionConfig(),
+            index_config=IndexConfig(
+                backend="sharded", window_days=15.0, max_workers=2, compaction=policy
+            ),
+        )
+        stage.index_history(train)
+        assert stage.index.max_workers == 2
+        assert stage.index.compaction is policy
+        assert stage.index.stats()["max_workers"] == 2.0
+
+
 class TestShardKeyExtraction:
     def test_shard_key_matches_vectordb_bucketing(self, small_corpus):
         """incidents.shard_key must stay formula-identical to time_bucket."""
@@ -144,6 +207,9 @@ class TestIndexTelemetry:
             "shard_count",
             "scanned_shard_ratio",
             "max_shard_size",
+            "median_shard_size",
+            "max_workers",
+            "compactions",
         ):
             assert f"rcacopilot.index.{suffix}" in names
         shard_count = hub.metrics.latest("rcacopilot.index.shard_count", "prediction-stage")
