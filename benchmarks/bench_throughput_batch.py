@@ -27,13 +27,19 @@ from typing import List
 
 import numpy as np
 
-from bench_utils import write_results
+from bench_utils import read_results, write_results
 
-from repro.core import RCACopilot
+from repro.core import IngestConfig, RCACopilot
 from repro.datagen import generate_corpus
-from repro.handlers import HandlerRegistry
+from repro.handlers import (
+    HandlerRegistry,
+    QueryAction,
+    linear_handler,
+    register_classifier,
+)
 from repro.incidents import Incident
 from repro.llm import SimulatedLLM
+from repro.monitors import Alert, AlertScope
 from repro.telemetry import TelemetryHub
 
 HISTORY_SIZES = (1_000, 10_000, 50_000)
@@ -150,22 +156,20 @@ def test_throughput_single_vs_batch(quick_mode):
             f"{history_size:>10} {sequential_ips:>12.1f} {batch_ips:>12.1f} "
             f"{speedups[history_size]:>8.1f}x"
         )
-    path = write_results(
-        "BENCH_throughput.json",
-        {
-            "benchmark": "throughput_batch",
-            "config": {
-                "history_sizes": list(history_sizes),
-                "distinct_incidents": DISTINCT_INCIDENTS,
-                "recurrences": RECURRENCES,
-                "quick_mode": bool(quick_mode),
-                "cores": os.cpu_count() or 1,
-                "machine": platform.machine(),
-                "python": platform.python_version(),
-            },
-            "results": rows,
-        }
-    )
+    # Merge-don't-clobber: the collect-bound profile shares this artifact.
+    merged = read_results("BENCH_throughput.json")
+    merged["benchmark"] = "throughput_batch"
+    merged["config"] = {
+        "history_sizes": list(history_sizes),
+        "distinct_incidents": DISTINCT_INCIDENTS,
+        "recurrences": RECURRENCES,
+        "quick_mode": bool(quick_mode),
+        "cores": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+    merged["results"] = rows
+    path = write_results("BENCH_throughput.json", merged)
     print(f"machine-readable results: {path}")
     assert speedups[10_000] >= 3.0, (
         f"batch path must be >= 3x the sequential loop at 10k history, "
@@ -177,3 +181,129 @@ def test_throughput_single_vs_batch(quick_mode):
     for history_size, speedup in speedups.items():
         floor = 1.0 if history_size <= 10_000 else 0.8
         assert speedup >= floor, f"batching slower at {history_size}: {speedup:.2f}x"
+
+
+# --------------------------------------------------------------- collect-bound
+#: Simulated I/O latency of one handler telemetry pull, and the ingest
+#: stream replayed through the worker pool (``--collect-bound`` doubles it).
+COLLECT_SLEEP_SECONDS = 0.025
+COLLECT_ALERTS = 32
+COLLECT_SOAK_ALERTS = 96
+COLLECT_WORKERS = 4
+
+
+@register_classifier("bench_collect_sleep")
+def _bench_sleep_classifier(context, table) -> str:
+    """Sleep-simulate the I/O wait of a real log pull / probe query."""
+    time.sleep(COLLECT_SLEEP_SECONDS)
+    return "default"
+
+
+def _collect_bound_copilot() -> RCACopilot:
+    """An indexed copilot whose single handler is collect- (I/O-) bound."""
+    registry = HandlerRegistry()
+    registry.register(
+        linear_handler(
+            "CollectBound",
+            "collect-bound",
+            [
+                QueryAction(
+                    "slow_probe",
+                    source="metrics",
+                    metric_names=["delivery_queue_length"],
+                    classify=_bench_sleep_classifier,
+                ),
+                QueryAction("recent_events", source="events"),
+            ],
+        )
+    )
+    corpus = generate_corpus(
+        total_incidents=160, total_categories=45, seed=71, duration_days=180.0
+    )
+    train, _ = corpus.chronological_split(0.75)
+    copilot = RCACopilot(TelemetryHub(), registry=registry, model=SimulatedLLM())
+    copilot.index_history(train)
+    return copilot
+
+
+def _collect_bound_alerts(count: int):
+    return [
+        Alert(
+            alert_id=f"AL-CB-{index:05d}",
+            alert_type="CollectBound",
+            scope=AlertScope.FOREST,
+            timestamp=3600.0 + 7.0 * index,
+            machine="",
+            forest="forest-01",
+            message=f"collect-bound benchmark alert {index}",
+            severity=3,
+        )
+        for index in range(count)
+    ]
+
+
+def _ingest_throughput(copilot: RCACopilot, alerts, workers) -> tuple:
+    """(incidents/sec, predicted labels) for one ingest configuration."""
+    ingestor = copilot.stream(
+        IngestConfig(
+            max_batch=16, max_latency_seconds=5.0, collect_workers=workers
+        )
+    )
+    ingestor.submit_many(alerts)
+    started = time.perf_counter()
+    reports = ingestor.flush()
+    seconds = time.perf_counter() - started
+    ingestor.stop()
+    assert len(reports) == len(alerts)
+    return len(alerts) / seconds, [r.predicted_label for r in reports]
+
+
+def test_collect_bound_ingest_worker_pool(collect_bound_soak):
+    """4 collect workers give >= 2x ingest throughput on a collect-bound stream.
+
+    Handlers sleep-simulate telemetry I/O (the latency profile the paper's
+    collection stage actually has), so the wall-clock win comes from
+    overlapping waits — it shows up even on a single-core runner.  The
+    pooled run must also reproduce the serial run's labels exactly: the
+    parity the two-phase fold guarantees.
+    """
+    count = COLLECT_SOAK_ALERTS if collect_bound_soak else COLLECT_ALERTS
+    copilot = _collect_bound_copilot()
+    serial_copilot = copy.deepcopy(copilot)
+    pooled_copilot = copy.deepcopy(copilot)
+    # Untimed warm-up so neither path pays first-touch costs.
+    serial_copilot.observe(_collect_bound_alerts(1)[0])
+    pooled_copilot.observe(_collect_bound_alerts(1)[0])
+
+    serial_ips, serial_labels = _ingest_throughput(
+        serial_copilot, _collect_bound_alerts(count), None
+    )
+    pooled_ips, pooled_labels = _ingest_throughput(
+        pooled_copilot, _collect_bound_alerts(count), COLLECT_WORKERS
+    )
+    assert pooled_labels == serial_labels
+    speedup = pooled_ips / serial_ips
+    print()
+    print(
+        f"collect-bound ingest ({count} alerts, {COLLECT_SLEEP_SECONDS * 1000:.0f}ms "
+        f"simulated I/O per handler): serial {serial_ips:.1f} inc/s, "
+        f"{COLLECT_WORKERS} workers {pooled_ips:.1f} inc/s ({speedup:.1f}x)"
+    )
+    merged = read_results("BENCH_throughput.json")
+    merged.setdefault("benchmark", "throughput_batch")
+    merged["collect_bound"] = {
+        "alerts": count,
+        "collect_workers": COLLECT_WORKERS,
+        "sleep_seconds": COLLECT_SLEEP_SECONDS,
+        "soak": bool(collect_bound_soak),
+        "cores": os.cpu_count() or 1,
+        "serial_incidents_per_second": serial_ips,
+        "pooled_incidents_per_second": pooled_ips,
+        "speedup": speedup,
+    }
+    path = write_results("BENCH_throughput.json", merged)
+    print(f"machine-readable results: {path}")
+    assert speedup >= 2.0, (
+        f"4 collect workers must give >= 2x ingest throughput on a "
+        f"collect-bound stream, got {speedup:.2f}x"
+    )

@@ -19,3 +19,21 @@ def write_results(filename: str, payload: dict) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     return path
+
+
+def read_results(filename: str) -> dict:
+    """Read back a previously written results file (empty dict if absent).
+
+    Lets two profiles of the same benchmark merge into one ``BENCH_*.json``
+    artifact (e.g. the batch-vs-sequential table and the collect-bound
+    worker-pool profile both land in ``BENCH_throughput.json``) regardless
+    of which ran first — or whether only one ran at all.
+    """
+    path = os.path.join(os.environ.get("BENCH_OUTPUT_DIR", "."), filename)
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as handle:
+        try:
+            return json.load(handle)
+        except json.JSONDecodeError:
+            return {}

@@ -33,6 +33,16 @@ def pytest_addoption(parser):
         default=False,
         help="run perf benchmarks at reduced history sizes (CI smoke mode)",
     )
+    parser.addoption(
+        "--collect-bound",
+        action="store_true",
+        default=False,
+        help=(
+            "run the collect-bound ingest profile (bench_throughput_batch.py) "
+            "at soak scale; without the flag it runs a shorter stream with "
+            "the same speedup assertion"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
@@ -41,6 +51,12 @@ def quick_mode(request):
     if os.environ.get("REPRO_BENCH_QUICK", "0") == "1":
         return True
     return bool(request.config.getoption("--quick", default=False))
+
+
+@pytest.fixture(scope="session")
+def collect_bound_soak(request):
+    """True when the collect-bound ingest profile should run at soak scale."""
+    return bool(request.config.getoption("--collect-bound", default=False))
 
 
 def corpus_parameters():

@@ -7,8 +7,11 @@ Demonstrates the streaming deployment shape of RCACopilot:
    the **sharded** retrieval index (time-window shards, exact pruning,
    parallel shard scoring, auto-selected window width, self-compaction);
 2. start a :class:`~repro.core.StreamIngestor`: alerts submitted one at a
-   time are grouped into ``observe_many`` micro-batches automatically
-   (flush on ``max_batch`` or ``max_latency_seconds``, whichever first);
+   time are grouped into micro-batches automatically (flush on
+   ``max_batch`` or ``max_latency_seconds``, whichever first), and each
+   batch's collection phase (handler action graphs) fans out to a worker
+   pool (``collect_workers``) while prediction stays batched — outcomes
+   fold back in submission order, so reports are identical to serial;
 3. inject faults and submit each detected alert as it appears — exactly
    how an always-on deployment receives monitors' output;
 4. fold an on-call engineer's confirmed label back in *mid-stream* and
@@ -50,7 +53,13 @@ def main() -> None:
                 min_entries=8, max_entries=128, auto=True, check_every=64
             ),
         ),
-        ingest=IngestConfig(max_batch=4, max_latency_seconds=0.2),
+        # The collection phase of each micro-batch (handler action graphs:
+        # log pulls, probe queries) runs on 4 worker threads; prediction
+        # stays batched.  Diagnosis reports and ingest counters are
+        # identical to the serial (collect_workers=None) path.
+        ingest=IngestConfig(
+            max_batch=4, max_latency_seconds=0.2, collect_workers=4
+        ),
     )
     copilot = RCACopilot(service.hub, config=config)
     history = generate_corpus(
@@ -112,7 +121,25 @@ def main() -> None:
     ingest = ingestor.stats()
     print(
         f"ingested {ingest.processed} alerts in {ingest.batches} micro-batches "
-        f"(flush reasons: {ingest.flush_reasons})"
+        f"(flush reasons: {ingest.flush_reasons}, "
+        f"collect failures: {ingest.collect_failures})"
+    )
+    pool_size = copilot.hub.metrics.latest(
+        "rcacopilot.ingest.collect_pool_size", "stream-ingestor"
+    )
+    utilization = copilot.hub.metrics.latest(
+        "rcacopilot.ingest.collect_utilization", "stream-ingestor"
+    )
+    collect_seconds = copilot.hub.metrics.latest(
+        "rcacopilot.ingest.collect_seconds", "stream-ingestor"
+    )
+    predict_seconds = copilot.hub.metrics.latest(
+        "rcacopilot.ingest.predict_seconds", "stream-ingestor"
+    )
+    print(
+        f"collection pool: {int(pool_size)} worker(s), last batch "
+        f"{utilization:.0%} utilised (collect {collect_seconds * 1000:.1f}ms, "
+        f"predict {predict_seconds * 1000:.1f}ms)"
     )
     index_stats = copilot.prediction.index.stats()
     print(

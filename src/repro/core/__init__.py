@@ -1,6 +1,7 @@
 """Core RCACopilot pipeline: configuration, collection stage, prediction stage,
 and the streaming micro-batch ingestion front."""
 
+from .collect_pool import CollectionPool, CollectResult
 from .collection import CollectionOutcome, CollectionStage
 from .config import (
     CollectionConfig,
@@ -29,6 +30,8 @@ from .prediction import (
 from .streaming import IngestStats, StreamIngestor
 
 __all__ = [
+    "CollectionPool",
+    "CollectResult",
     "CollectionOutcome",
     "CollectionStage",
     "CollectionConfig",

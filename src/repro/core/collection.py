@@ -12,7 +12,7 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..handlers import ExecutionResult, HandlerExecutor, HandlerRegistry
+from ..handlers import ExecutionResult, HandlerExecutor, HandlerRegistry, IncidentHandler
 from ..incidents import Incident
 from ..monitors import Alert
 from ..telemetry import TelemetryHub
@@ -46,10 +46,29 @@ class CollectionStage:
         self.registry = registry
         self.hub = hub
         self.config = config or CollectionConfig()
-        self._executor = HandlerExecutor(hub, lookback_seconds=self.config.lookback_seconds)
+        self._executor = HandlerExecutor(
+            hub,
+            lookback_seconds=self.config.lookback_seconds,
+            max_wall_seconds=self.config.handler_wall_budget_seconds,
+        )
         self._id_counter = itertools.count(1)
 
-    def parse_alert(self, alert: Alert, owning_team: Optional[str] = None) -> Incident:
+    def next_incident_id(self) -> str:
+        """Reserve the next live incident id.
+
+        The streaming front reserves one id per queued alert *before* fanning
+        parse+collect out to collection workers, so id assignment stays in
+        submission order no matter how the pool interleaves — a prerequisite
+        for serial/pooled parity.
+        """
+        return f"INC-LIVE-{next(self._id_counter):06d}"
+
+    def parse_alert(
+        self,
+        alert: Alert,
+        owning_team: Optional[str] = None,
+        incident_id: Optional[str] = None,
+    ) -> Incident:
         """Parse an alert into a fresh incident (Figure 4 "Incident Parsing").
 
         Live incidents get an ``INC-LIVE-`` prefix so their ids can never
@@ -60,10 +79,15 @@ class CollectionStage:
             alert: The routed monitor alert.
             owning_team: Team to route the incident to; defaults to
                 ``config.default_owning_team``.
+            incident_id: A pre-reserved id (from :meth:`next_incident_id`);
+                None draws the next id from the stage's counter.  With an
+                explicit id this method touches no shared state, so
+                collection workers may parse concurrently.
         """
         if owning_team is None:
             owning_team = self.config.default_owning_team
-        incident_id = f"INC-LIVE-{next(self._id_counter):06d}"
+        if incident_id is None:
+            incident_id = self.next_incident_id()
         return Incident.from_alert(incident_id, alert, owning_team=owning_team)
 
     def collect(self, incident: Incident) -> CollectionOutcome:
@@ -75,7 +99,18 @@ class CollectionStage:
         report so prediction can still run on the alert information alone
         (the limitation the paper's discussion section acknowledges).
         """
-        handler = self.registry.match(incident.alert_type)
+        return self.collect_with(incident, self.registry.match(incident.alert_type))
+
+    def collect_with(
+        self, incident: Incident, handler: Optional[IncidentHandler]
+    ) -> CollectionOutcome:
+        """Run collection for an incident with an already-matched handler.
+
+        Shared by :meth:`collect` (which matches through the registry) and
+        the process collection backend (which matches in the parent, ships
+        the handler's serialized form, and rebuilds it worker-side) so the
+        strict/degrade semantics can never diverge between the two paths.
+        """
         if handler is None:
             if self.config.strict:
                 raise NoHandlerError(

@@ -58,6 +58,21 @@ class CollectionConfig:
     #: routing information (the paper's deployment started with Exchange's
     #: Transport team before expanding to other teams).
     default_owning_team: str = "Transport"
+    #: Wall-clock budget for one handler execution, in seconds (None = no
+    #: budget).  Checked between action steps, so a runaway handler stops at
+    #: the next node boundary with a
+    #: :class:`~repro.handlers.HandlerExecutionError` instead of occupying a
+    #: collection worker forever.
+    handler_wall_budget_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.lookback_seconds <= 0:
+            raise ValueError("lookback_seconds must be positive")
+        if (
+            self.handler_wall_budget_seconds is not None
+            and self.handler_wall_budget_seconds <= 0
+        ):
+            raise ValueError("handler_wall_budget_seconds must be positive (or None)")
 
 
 @dataclass
@@ -109,6 +124,16 @@ class IngestConfig:
     A continuous alert stream is grouped into ``observe_many`` batches
     automatically: a batch is flushed as soon as it reaches ``max_batch``
     alerts or the oldest queued alert has waited ``max_latency_seconds``.
+
+    Within a flushed micro-batch the *collection* phase (alert parsing +
+    handler action graphs — log pulls, probe queries, correlation lookups)
+    can run concurrently on a worker pool while the *prediction* phase stays
+    batched: ``collect_workers`` sizes the pool and ``collect_backend``
+    picks threads (I/O-bound handlers; the default) or processes
+    (pure-Python-heavy handlers; requires serializable handlers).  Outcomes
+    are folded back in submission order before the single batched
+    ``predict_many`` call, so reports, feedback routing, and ingest counters
+    are identical to the serial path.
     """
 
     #: Flush as soon as this many alerts are queued.
@@ -120,6 +145,16 @@ class IngestConfig:
     #: When the queue is full: block the submitter (True, backpressure) or
     #: raise :class:`~repro.core.errors.IngestQueueFull` (False, load shed).
     block_when_full: bool = True
+    #: Collection worker pool size: None runs collection serially inside the
+    #: flushing thread (the pre-pool behaviour), N >= 1 fans each
+    #: micro-batch's parse+collect calls out to N workers.
+    collect_workers: Optional[int] = None
+    #: Worker pool backend: ``thread`` (default — handler queries release
+    #: the GIL on I/O and the telemetry hub is shared read-only) or
+    #: ``process`` (pure-Python-heavy handlers; handlers are shipped through
+    #: their JSON serialization, so script actions and unregistered
+    #: classifiers cannot cross the process boundary).
+    collect_backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -128,6 +163,13 @@ class IngestConfig:
             raise ValueError("max_latency_seconds must be positive")
         if self.queue_capacity <= 0:
             raise ValueError("queue_capacity must be positive")
+        if self.collect_workers is not None and self.collect_workers < 1:
+            raise ValueError("collect_workers must be positive (or None for serial)")
+        if self.collect_backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown collect backend: {self.collect_backend!r} "
+                "(expected 'thread' or 'process')"
+            )
 
 
 @dataclass

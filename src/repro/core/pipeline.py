@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..handlers import HandlerRegistry, default_registry
 from ..incidents import Incident, IncidentStore
@@ -167,6 +167,27 @@ class RCACopilot:
             return []
         started = time.perf_counter()
         collections = self.collection.collect_many(incidents)
+        return self.diagnose_collected(collections, started=started)
+
+    def diagnose_collected(
+        self,
+        collections: Sequence[CollectionOutcome],
+        started: Optional[float] = None,
+    ) -> List[DiagnosisReport]:
+        """Run the batched prediction phase over already-collected incidents.
+
+        The second half of :meth:`diagnose_many`, split out so callers that
+        run the collection phase elsewhere — the stream ingestor's collection
+        worker pool fans parse+collect out per alert — can still share the
+        exact prediction/batching/telemetry path.  ``started`` optionally
+        carries the batch's true start time (collection included) so the
+        reports' per-incident ``elapsed_seconds`` keeps its meaning.
+        """
+        if not collections:
+            return []
+        if started is None:
+            started = time.perf_counter()
+        incidents = [collection.incident for collection in collections]
         predictions: List[Optional[PredictionOutcome]] = [None] * len(incidents)
         if self._indexed:
             predictions = list(self.prediction.predict_many(incidents))

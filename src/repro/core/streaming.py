@@ -20,6 +20,19 @@ Two driving modes share all of the batching logic:
 * **manual** — without a worker, ``flush()`` synchronously processes
   whatever is queued (deterministic, used by tests and replay tooling).
 
+Each flushed micro-batch runs in two phases mirroring the paper's
+collection/prediction split: the **collection phase** (alert parsing +
+handler action graphs) optionally fans out to a
+:class:`~repro.core.collect_pool.CollectionPool`
+(``IngestConfig.collect_workers`` / ``collect_backend``), with incident ids
+pre-reserved in submission order and outcomes folded back in submission
+order; the **prediction phase** then runs once over the whole batch
+(``diagnose_collected``: batch embed, one retrieval pass, deduplicated LLM
+batch).  Reports, feedback effects, and ingest counters are therefore
+identical whether collection ran serially or on a pool.  A handler raising
+during the collection phase fails only its own alert's future — the rest of
+the batch still predicts, and the pool survives for the next wave.
+
 OCE feedback can be folded in mid-stream through
 :meth:`StreamIngestor.record_feedback`, which serializes with batch
 processing so the updated index is visible to the very next micro-batch.
@@ -48,6 +61,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..incidents import Incident
 from ..monitors import Alert
+from .collect_pool import CollectionPool
 from .config import IngestConfig
 from .errors import IngestQueueFull
 
@@ -57,13 +71,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 @dataclass
 class IngestStats:
-    """Counters describing the ingestion front's behaviour so far."""
+    """Counters describing the ingestion front's behaviour so far.
+
+    Every counter is deterministic for a given alert stream and flush
+    pattern — including ``collect_failures`` — so serial and pooled
+    collection produce identical stats.  The live instance inside a
+    :class:`StreamIngestor` is mutated under the ingestor's stats lock;
+    read it only through :meth:`StreamIngestor.stats`, which returns a
+    consistent snapshot.  Calling :meth:`as_dict` on such a snapshot is
+    always safe; calling it on an object other threads are mutating is not
+    (the flush-reason dict may grow mid-iteration).
+    """
 
     submitted: int = 0
     processed: int = 0
     batches: int = 0
     max_queue_depth: int = 0
     last_flush_size: int = 0
+    collect_failures: int = 0
     flush_reasons: Dict[str, int] = field(
         default_factory=lambda: {"size": 0, "latency": 0, "manual": 0}
     )
@@ -76,6 +101,7 @@ class IngestStats:
             "batches": float(self.batches),
             "max_queue_depth": float(self.max_queue_depth),
             "last_flush_size": float(self.last_flush_size),
+            "collect_failures": float(self.collect_failures),
         }
         for reason, count in self.flush_reasons.items():
             flat[f"flush_reason_{reason}"] = float(count)
@@ -108,6 +134,14 @@ class StreamIngestor:
         self._worker: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self._ingest_stats = IngestStats()
+        #: Collection-phase worker pool (serial when ``collect_workers`` is
+        #: None); executors spin up lazily on the first pooled batch and are
+        #: torn down by :meth:`stop`.
+        self._collect_pool = CollectionPool(
+            copilot.collection,
+            workers=self.config.collect_workers,
+            backend=self.config.collect_backend,
+        )
 
     # ------------------------------------------------------------------ submit
     def submit(self, alert: Alert) -> "Future[DiagnosisReport]":
@@ -119,17 +153,25 @@ class StreamIngestor:
         """
         future: "Future[DiagnosisReport]" = Future()
         item = (alert, future)
+        # Count the submission *before* enqueueing: once the item is in the
+        # queue a concurrent flush may process it immediately, and a stats
+        # snapshot taken in that window must never show processed >
+        # submitted.  A failed load-shed put rolls the counter back (the
+        # alert never entered the queue).
+        with self._stats_lock:
+            self._ingest_stats.submitted += 1
         if self.config.block_when_full:
             self._queue.put(item)
         else:
             try:
                 self._queue.put_nowait(item)
             except queue.Full:
+                with self._stats_lock:
+                    self._ingest_stats.submitted -= 1
                 raise IngestQueueFull(
                     f"ingest queue full ({self.config.queue_capacity} alerts queued)"
                 ) from None
         with self._stats_lock:
-            self._ingest_stats.submitted += 1
             self._ingest_stats.max_queue_depth = max(
                 self._ingest_stats.max_queue_depth, self._queue.qsize()
             )
@@ -152,13 +194,29 @@ class StreamIngestor:
         return self
 
     def stop(self, flush: bool = True) -> None:
-        """Stop the worker; by default flush whatever is still queued."""
+        """Stop the worker; by default drain whatever is still queued.
+
+        The worker exits on its first empty poll after the stop signal, so
+        an alert enqueued between that final poll and the join would be
+        stranded by a single flush pass; the drain therefore loops until a
+        pass finds the queue empty.  Every alert whose ``submit()``
+        happened-before the ``stop()`` call is guaranteed processed when
+        ``stop()`` returns.  A submit *racing* ``stop()`` from another
+        thread may land after the drain's final empty check; such an alert
+        is never lost — it stays queued and its future resolves at the next
+        ``flush()`` or ``start()`` (post-stop use is supported; the
+        collection pool, torn down here, is lazily recreated).
+        """
         self._stopping.set()
         if self._worker is not None:
             self._worker.join()
             self._worker = None
         if flush:
-            self.flush()
+            while True:
+                self.flush()
+                if self._queue.empty():
+                    break
+        self._collect_pool.close()
 
     def __enter__(self) -> "StreamIngestor":
         return self.start()
@@ -191,7 +249,11 @@ class StreamIngestor:
 
     # ------------------------------------------------------------------ manual
     def flush(self) -> List["DiagnosisReport"]:
-        """Synchronously process everything queued right now (manual mode)."""
+        """Synchronously process everything queued right now (manual mode).
+
+        Returns the successful reports in submission order; alerts whose
+        collection failed are resolved through their futures only.
+        """
         batch: List[Tuple[Alert, Future]] = []
         while True:
             try:
@@ -211,7 +273,17 @@ class StreamIngestor:
     def _process(
         self, items: List[Tuple[Alert, Future]], reason: str
     ) -> List["DiagnosisReport"]:
-        """Diagnose one micro-batch and resolve its futures."""
+        """Diagnose one micro-batch in two phases and resolve its futures.
+
+        Phase 1 (collection) parses and collects every alert — serially or
+        on the collection worker pool, per ``IngestConfig.collect_workers``
+        — with incident ids pre-reserved in submission order and outcomes
+        folded back in submission order.  A per-alert collection failure
+        resolves only that alert's future with the exception.  Phase 2
+        (prediction) runs once over the surviving outcomes through
+        ``diagnose_collected``, exactly as ``observe_many`` would.  The
+        returned list holds the successful reports in submission order.
+        """
         # Transition every future to RUNNING first: a future whose caller
         # cancelled it while queued is dropped from the batch, and the ones
         # that remain can no longer be cancelled, so resolving them below
@@ -222,26 +294,67 @@ class StreamIngestor:
         if not items:
             return []
         alerts = [alert for alert, _ in items]
-        try:
-            with self._lock:
-                reports = self.copilot.observe_many(alerts)
-        except Exception as exc:  # noqa: BLE001 - failures flow to the futures
-            for _, future in items:
-                future.set_exception(exc)
-            return []
-        for (_, future), report in zip(items, reports):
-            future.set_result(report)
+        reports: List["DiagnosisReport"] = []
+        with self._lock:
+            collect_started = time.perf_counter()
+            incident_ids = [
+                self.copilot.collection.next_incident_id() for _ in alerts
+            ]
+            results = self._collect_pool.run(alerts, incident_ids)
+            collect_seconds = time.perf_counter() - collect_started
+            succeeded = [result for result in results if result.ok]
+            predict_started = time.perf_counter()
+            predict_error: Optional[Exception] = None
+            try:
+                reports = self.copilot.diagnose_collected(
+                    [result.outcome for result in succeeded],
+                    started=collect_started,
+                )
+            except Exception as exc:  # noqa: BLE001 - failures flow to the futures
+                predict_error = exc
+                reports = []
+            predict_seconds = time.perf_counter() - predict_started
+        # Resolve every future only after releasing the ingestion lock:
+        # set_result/set_exception run done-callbacks synchronously, and a
+        # callback that re-enters the ingestor (record_feedback, submit)
+        # would deadlock on the non-reentrant lock.
+        for result in results:
+            if not result.ok:
+                items[result.index][1].set_exception(result.error)
+        if predict_error is not None:
+            for result in succeeded:
+                items[result.index][1].set_exception(predict_error)
+            succeeded = []
+        for result, report in zip(succeeded, reports):
+            items[result.index][1].set_result(report)
         stats = self._ingest_stats
         with self._stats_lock:
             stats.processed += len(items)
             stats.batches += 1
             stats.last_flush_size = len(items)
+            stats.collect_failures += sum(1 for result in results if not result.ok)
             stats.flush_reasons[reason] = stats.flush_reasons.get(reason, 0) + 1
             exported = stats.as_dict()
+        pool_size = self._collect_pool.pool_size
+        # Utilisation counts successful collections only, on every backend:
+        # a task that died in a worker has no observable elapsed time (its
+        # future carries just the exception), so including serial-side
+        # failure timings would make the gauge diverge between pool shapes.
+        busy_seconds = sum(result.seconds for result in results if result.ok)
+        lanes = pool_size if pool_size else 1
+        utilization = (
+            min(busy_seconds / (lanes * collect_seconds), 1.0)
+            if collect_seconds > 0.0
+            else 0.0
+        )
         self.hub.emit_metrics(
             {
                 "rcacopilot.ingest.queue_depth": float(self._queue.qsize()),
                 "rcacopilot.ingest.flush_size": float(len(items)),
+                "rcacopilot.ingest.collect_pool_size": float(pool_size),
+                "rcacopilot.ingest.collect_seconds": collect_seconds,
+                "rcacopilot.ingest.predict_seconds": predict_seconds,
+                "rcacopilot.ingest.collect_utilization": utilization,
                 **{
                     f"rcacopilot.ingest.{suffix}": value
                     for suffix, value in exported.items()
@@ -265,12 +378,22 @@ class StreamIngestor:
 
     # ------------------------------------------------------------------- stats
     def stats(self) -> IngestStats:
-        """A consistent snapshot (copy) of the ingestion counters."""
+        """A consistent snapshot (copy) of the ingestion counters.
+
+        Safe from any thread while batches flush: all counter reads happen
+        under the stats lock, and the returned object (including its
+        flush-reason dict) is detached from the live instance, so a caller
+        may iterate or :meth:`IngestStats.as_dict` it at leisure.
+        """
         with self._stats_lock:
             return replace(
                 self._ingest_stats,
                 flush_reasons=dict(self._ingest_stats.flush_reasons),
             )
+
+    def stats_dict(self) -> Dict[str, float]:
+        """The counters as a flat metric mapping, snapshotted under the lock."""
+        return self.stats().as_dict()
 
     @property
     def queue_depth(self) -> int:

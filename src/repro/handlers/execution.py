@@ -52,11 +52,31 @@ class ExecutionResult:
 
 
 class HandlerExecutor:
-    """Executes incident handlers over a telemetry hub."""
+    """Executes incident handlers over a telemetry hub.
 
-    def __init__(self, hub: TelemetryHub, lookback_seconds: float = 3600.0) -> None:
+    The executor holds no per-execution state (each run builds its own
+    :class:`~repro.handlers.actions.ActionContext`), so one executor may be
+    shared by concurrent collection workers as long as nothing writes into
+    the hub while they run — the same read-only contract the telemetry hub
+    itself documents.  It is also picklable (hub + plain floats), which is
+    what lets the process collection backend rebuild one per worker.
+
+    ``max_wall_seconds`` bounds one execution's wall-clock time: the budget
+    is checked between action steps, so a handler stuck in slow telemetry
+    queries stops at the next node boundary with a
+    :class:`HandlerExecutionError` instead of occupying a collection worker
+    indefinitely.
+    """
+
+    def __init__(
+        self,
+        hub: TelemetryHub,
+        lookback_seconds: float = 3600.0,
+        max_wall_seconds: Optional[float] = None,
+    ) -> None:
         self.hub = hub
         self.lookback_seconds = lookback_seconds
+        self.max_wall_seconds = max_wall_seconds
 
     def execute(
         self, handler: IncidentHandler, incident: Incident,
@@ -75,7 +95,8 @@ class HandlerExecutor:
             action outputs, suggested mitigations, and a step trace.
 
         Raises:
-            HandlerExecutionError: If execution exceeds ``handler.max_steps``.
+            HandlerExecutionError: If execution exceeds ``handler.max_steps``
+                or the executor's ``max_wall_seconds`` budget.
         """
         started = time.perf_counter()
         context = ActionContext.for_incident(
@@ -92,6 +113,15 @@ class HandlerExecutor:
             if steps >= handler.max_steps:
                 raise HandlerExecutionError(
                     f"handler {handler.name!r} exceeded {handler.max_steps} steps "
+                    f"on incident {incident.incident_id}"
+                )
+            if (
+                self.max_wall_seconds is not None
+                and time.perf_counter() - started > self.max_wall_seconds
+            ):
+                raise HandlerExecutionError(
+                    f"handler {handler.name!r} exceeded its {self.max_wall_seconds:g}s "
+                    f"wall-clock budget after {steps} steps "
                     f"on incident {incident.incident_id}"
                 )
             node = handler.nodes.get(node_id)

@@ -1,0 +1,227 @@
+"""Shared builders for the streaming-concurrency test suites.
+
+Everything here is deterministic by construction so the serial/pooled
+parity suites can compare runs value-for-value:
+
+* the **flaky** classifier fails based on the alert *message* (never on
+  timing or global order), so the same alert stream produces the same
+  failures whether collection ran serially, on a thread pool, or in worker
+  processes;
+* the **slow** classifier sleeps a fixed couple of milliseconds, simulating
+  the I/O-bound telemetry pulls that make a collection pool worthwhile;
+* both classifiers are registered by name at import time, which also makes
+  the handlers JSON-serializable — the requirement of the process
+  collection backend (workers resolve classifiers through the registry
+  after rebuilding the handler from its document).
+
+Import this module with a plain ``import streamtest_utils`` — pytest puts
+each test file's directory on ``sys.path``, and importing it in the parent
+process (before any process pool forks) is exactly what registers the
+classifiers for worker processes too.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import (
+    CollectionConfig,
+    IndexConfig,
+    IngestConfig,
+    PipelineConfig,
+    RCACopilot,
+)
+from repro.core.pipeline import DiagnosisReport
+from repro.datagen import generate_corpus
+from repro.handlers import (
+    HandlerRegistry,
+    MitigationAction,
+    QueryAction,
+    linear_handler,
+    register_classifier,
+)
+from repro.llm import SimulatedLLM
+from repro.monitors import Alert, AlertScope
+from repro.telemetry import TelemetryHub
+
+#: Alert messages containing this marker make the flaky classifier raise.
+FLAKY_MARKER = "flaky-telemetry"
+
+#: Alert types served by :func:`stream_test_registry`.
+SLEEPY_TYPE = "StreamSleepy"
+FLAKY_TYPE = "StreamFlaky"
+
+
+@register_classifier("stream_test_flaky")
+def flaky_classifier(context, table) -> str:
+    """Raise iff the alert message carries the flaky marker (deterministic)."""
+    if FLAKY_MARKER in context.incident.alert_message:
+        raise RuntimeError(
+            f"simulated telemetry outage for {context.incident.incident_id}"
+        )
+    return "default"
+
+
+@register_classifier("stream_test_slow")
+def slow_classifier(context, table) -> str:
+    """Sleep-simulate an I/O-bound telemetry pull."""
+    time.sleep(0.002)
+    return "default"
+
+
+def stream_test_registry() -> HandlerRegistry:
+    """Two serializable handlers: one slow (I/O-bound), one flaky."""
+    registry = HandlerRegistry()
+    registry.register(
+        linear_handler(
+            SLEEPY_TYPE,
+            "stream-sleepy",
+            [
+                QueryAction(
+                    "slow_metrics",
+                    source="metrics",
+                    metric_names=["stream_m1"],
+                    classify=slow_classifier,
+                ),
+                QueryAction("recent_events", source="events"),
+                MitigationAction("suggest_restart", "Restart the sleepy component"),
+            ],
+        )
+    )
+    registry.register(
+        linear_handler(
+            FLAKY_TYPE,
+            "stream-flaky",
+            [
+                QueryAction("maybe_fail", source="error_logs", classify=flaky_classifier),
+                QueryAction("flaky_metrics", source="metrics", metric_names=["stream_m1"]),
+                MitigationAction("suggest_patch", "Patch the flaky prober"),
+            ],
+        )
+    )
+    return registry
+
+
+def make_stream_alert(
+    index: int, alert_type: str = SLEEPY_TYPE, flaky: bool = False
+) -> Alert:
+    """A deterministic synthetic alert; ``flaky`` plants the failure marker."""
+    message = f"synthetic stream alert {index}"
+    if flaky:
+        message = f"{message} {FLAKY_MARKER}"
+    return Alert(
+        alert_id=f"AL-STREAM-{index:05d}",
+        alert_type=alert_type,
+        scope=AlertScope.FOREST,
+        timestamp=3600.0 + 17.0 * index,
+        machine="",
+        forest="forest-01",
+        message=message,
+        severity=3,
+    )
+
+
+def seed_hub(hub: TelemetryHub) -> None:
+    """Write a fixed slab of telemetry inside the test alerts' windows."""
+    for step in range(4):
+        timestamp = 3000.0 + 120.0 * step
+        for machine, value in (("EXCH-01", 40.0 + step), ("EXCH-02", 55.0 - step)):
+            hub.emit_metric("stream_m1", machine, timestamp, value, unit="count")
+        hub.emit_log(
+            timestamp,
+            "error",
+            "Transport",
+            "EXCH-01",
+            f"WinSock error 10055 while probing endpoint {step}",
+        )
+
+
+def build_stream_copilot(
+    strict: bool = True,
+    index_backend: str = "flat",
+    wall_budget: Optional[float] = None,
+    registry: Optional[HandlerRegistry] = None,
+    with_history: bool = True,
+) -> RCACopilot:
+    """A small indexed copilot over the stream-test registry and seeded hub."""
+    config = PipelineConfig(
+        collection=CollectionConfig(strict=strict, handler_wall_budget_seconds=wall_budget),
+        index=IndexConfig(backend=index_backend, window_days=20.0),
+    )
+    hub = TelemetryHub()
+    seed_hub(hub)
+    copilot = RCACopilot(
+        hub,
+        registry=registry if registry is not None else stream_test_registry(),
+        model=SimulatedLLM(),
+        config=config,
+    )
+    if with_history:
+        history = generate_corpus(
+            total_incidents=40, total_categories=12, seed=11, duration_days=60.0
+        )
+        copilot.index_history(history)
+    return copilot
+
+
+def ingest_config(
+    collect_workers: Optional[int],
+    collect_backend: str = "thread",
+    max_batch: int = 64,
+) -> IngestConfig:
+    """An IngestConfig tuned for deterministic manual-flush tests."""
+    return IngestConfig(
+        max_batch=max_batch,
+        max_latency_seconds=5.0,
+        collect_workers=collect_workers,
+        collect_backend=collect_backend,
+    )
+
+
+def report_fingerprint(report: DiagnosisReport) -> Tuple:
+    """Everything deterministic about a report (timings excluded)."""
+    execution = report.collection.execution
+    return (
+        report.incident.incident_id,
+        report.incident.alert_type,
+        report.incident.alert_message,
+        report.collection.matched_handler,
+        execution is not None,
+        tuple(step.node_id for step in execution.steps) if execution else (),
+        tuple(sorted(report.incident.action_output.items())),
+        report.incident.diagnostic.render() if report.incident.diagnostic else "",
+        tuple(execution.mitigations) if execution else (),
+        report.predicted_label,
+        report.explanation,
+        tuple(n.incident_id for n in (report.prediction.neighbors if report.prediction else [])),
+    )
+
+
+def failure_fingerprint(exc: BaseException) -> Tuple[str, str]:
+    """Exception identity that survives the process boundary: (type, text)."""
+    return (type(exc).__name__, str(exc))
+
+
+def index_state(copilot: RCACopilot, incident_ids: List[str]) -> Tuple:
+    """Deterministic snapshot of the live index after feedback."""
+    store = copilot.prediction.vector_store
+    return (
+        len(store),
+        tuple(
+            (incident_id, store.get(incident_id).category if incident_id in store else None)
+            for incident_id in incident_ids
+        ),
+    )
+
+
+def drain_futures(futures) -> Tuple[Dict[int, Tuple], Dict[int, Tuple[str, str]]]:
+    """Split resolved futures into report fingerprints and failure fingerprints."""
+    reports: Dict[int, Tuple] = {}
+    failures: Dict[int, Tuple[str, str]] = {}
+    for position, future in enumerate(futures):
+        try:
+            reports[position] = report_fingerprint(future.result(timeout=60.0))
+        except Exception as exc:  # noqa: BLE001 - the failure is the datum
+            failures[position] = failure_fingerprint(exc)
+    return reports, failures

@@ -1,0 +1,275 @@
+"""Unit tests for the collection worker pool behind the stream ingestor.
+
+Covers the pool's execution contract directly, without the ingestion front:
+submission-order folding, serial/thread/process equivalence, per-item crash
+containment (a raising handler fails only its own slot and the pool survives
+the next wave), process-safe handler serialization, the handler rebuild
+cache, and the executor wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import streamtest_utils as stu
+from repro.core import (
+    CollectionConfig,
+    CollectionPool,
+    CollectionStage,
+    CollectionError,
+    IngestConfig,
+)
+from repro.handlers import (
+    HandlerCache,
+    HandlerRegistry,
+    QueryAction,
+    SerializationError,
+    handler_to_dict,
+    linear_handler,
+    register_classifier,
+)
+from repro.monitors import Alert, AlertScope
+from repro.telemetry import TelemetryHub
+
+
+#: Registered at import time (in the parent), so forked pool workers
+#: inherit it and serialized handlers can reference it by name.
+@register_classifier("collect_pool_worker_kill")
+def _worker_kill_classifier(context, table) -> str:
+    if "kill-worker" in context.incident.alert_message:
+        os._exit(13)  # simulate an OOM kill / native crash of the worker
+    return "default"
+
+
+def build_stage(strict: bool = True, registry=None, wall_budget=None) -> CollectionStage:
+    hub = TelemetryHub()
+    stu.seed_hub(hub)
+    return CollectionStage(
+        registry if registry is not None else stu.stream_test_registry(),
+        hub,
+        CollectionConfig(strict=strict, handler_wall_budget_seconds=wall_budget),
+    )
+
+
+def reserved_ids(stage: CollectionStage, count: int):
+    return [stage.next_incident_id() for _ in range(count)]
+
+
+def outcome_fingerprint(result):
+    outcome = result.outcome
+    execution = outcome.execution
+    return (
+        result.index,
+        result.incident.incident_id,
+        outcome.matched_handler,
+        tuple(step.node_id for step in execution.steps) if execution else (),
+        tuple(sorted(result.incident.action_output.items())),
+        result.incident.diagnostic.render() if result.incident.diagnostic else "",
+    )
+
+
+class TestBackendEquivalence:
+    def test_all_backends_fold_identically(self):
+        alerts = [
+            stu.make_stream_alert(i, alert_type=t)
+            for i, t in enumerate([stu.SLEEPY_TYPE, stu.FLAKY_TYPE] * 3)
+        ]
+        baselines = None
+        for workers, backend in ((None, "thread"), (3, "thread"), (2, "process")):
+            stage = build_stage()
+            pool = CollectionPool(stage, workers=workers, backend=backend)
+            with pool:
+                results = pool.run(alerts, reserved_ids(stage, len(alerts)))
+            assert all(r.ok for r in results)
+            fingerprints = [outcome_fingerprint(r) for r in results]
+            if baselines is None:
+                baselines = fingerprints
+            else:
+                assert fingerprints == baselines
+
+    def test_results_come_back_in_submission_order(self):
+        stage = build_stage()
+        alerts = [stu.make_stream_alert(i) for i in range(10)]
+        ids = reserved_ids(stage, len(alerts))
+        pool = CollectionPool(stage, workers=4, backend="thread")
+        with pool:
+            results = pool.run(alerts, ids)
+        assert [r.index for r in results] == list(range(10))
+        assert [r.incident.incident_id for r in results] == ids
+        assert all(r.seconds >= 0.0 for r in results)
+
+    def test_id_count_mismatch_rejected(self):
+        stage = build_stage()
+        pool = CollectionPool(stage)
+        with pytest.raises(ValueError):
+            pool.run([stu.make_stream_alert(0)], [])
+
+    def test_invalid_pool_parameters_rejected(self):
+        stage = build_stage()
+        with pytest.raises(ValueError):
+            CollectionPool(stage, workers=0)
+        with pytest.raises(ValueError):
+            CollectionPool(stage, backend="fiber")
+        with pytest.raises(ValueError):
+            IngestConfig(collect_workers=0)
+        with pytest.raises(ValueError):
+            IngestConfig(collect_backend="fiber")
+        with pytest.raises(ValueError):
+            CollectionConfig(handler_wall_budget_seconds=0.0)
+        with pytest.raises(ValueError):
+            CollectionConfig(lookback_seconds=0.0)
+
+
+class TestCrashContainment:
+    @pytest.mark.parametrize(
+        "workers,backend", [(None, "thread"), (4, "thread"), (2, "process")]
+    )
+    def test_failure_hits_only_its_slot_and_pool_survives(self, workers, backend):
+        stage = build_stage(strict=True)
+        flaky_positions = {1, 4}
+        alerts = [
+            stu.make_stream_alert(
+                i, alert_type=stu.FLAKY_TYPE, flaky=(i in flaky_positions)
+            )
+            for i in range(6)
+        ]
+        pool = CollectionPool(stage, workers=workers, backend=backend)
+        with pool:
+            results = pool.run(alerts, reserved_ids(stage, len(alerts)))
+            assert {r.index for r in results if not r.ok} == flaky_positions
+            for result in results:
+                if result.ok:
+                    assert result.outcome.matched_handler == "stream-flaky"
+                else:
+                    assert isinstance(result.error, CollectionError)
+                    assert "simulated telemetry outage" in str(result.error)
+            # The pool is still fully operational for the next wave.
+            second = [stu.make_stream_alert(100 + i) for i in range(4)]
+            wave2 = pool.run(second, reserved_ids(stage, len(second)))
+            assert all(r.ok for r in wave2)
+
+    def test_dead_worker_process_breaks_wave_but_pool_recovers(self):
+        """A worker dying outright fails its wave; the next wave gets a fresh pool."""
+        registry = stu.stream_test_registry()
+        registry.register(
+            linear_handler(
+                "StreamKiller",
+                "stream-killer",
+                [
+                    QueryAction(
+                        "maybe_kill",
+                        source="events",
+                        classify=_worker_kill_classifier,
+                    )
+                ],
+            )
+        )
+        stage = build_stage(registry=registry)
+        killer = Alert(
+            alert_id="AL-KILL-00001",
+            alert_type="StreamKiller",
+            scope=AlertScope.FOREST,
+            timestamp=3600.0,
+            machine="",
+            forest="forest-01",
+            message="please kill-worker now",
+            severity=3,
+        )
+        pool = CollectionPool(stage, workers=2, backend="process")
+        with pool:
+            wave1 = pool.run(
+                [killer, stu.make_stream_alert(1)], reserved_ids(stage, 2)
+            )
+            assert not wave1[0].ok  # the killed worker's own alert always fails
+            # The broken executor must have been discarded: the next wave
+            # runs on a fresh pool and succeeds end to end.
+            second = [stu.make_stream_alert(10 + i) for i in range(3)]
+            ids = reserved_ids(stage, len(second))
+            wave2 = pool.run(second, ids)
+            assert all(r.ok for r in wave2)
+            assert [r.incident.incident_id for r in wave2] == ids
+
+    def test_nonstrict_mode_degrades_instead_of_failing(self):
+        stage = build_stage(strict=False)
+        alerts = [stu.make_stream_alert(0, alert_type=stu.FLAKY_TYPE, flaky=True)]
+        pool = CollectionPool(stage, workers=2, backend="thread")
+        with pool:
+            results = pool.run(alerts, reserved_ids(stage, 1))
+        assert results[0].ok
+        assert results[0].outcome.matched_handler == "stream-flaky"
+        assert results[0].outcome.execution is None
+
+    def test_wall_budget_overrun_contained_per_item(self):
+        # The sleepy handler's first step sleeps past the 1ms budget, so the
+        # budget check trips at the next node boundary; the flaky-type alert
+        # (not flagged flaky) runs fast handlers and stays under budget.
+        stage = build_stage(strict=True, wall_budget=0.001)
+        alerts = [
+            stu.make_stream_alert(0, alert_type=stu.SLEEPY_TYPE),
+            stu.make_stream_alert(1, alert_type=stu.FLAKY_TYPE),
+        ]
+        pool = CollectionPool(stage, workers=2, backend="thread")
+        with pool:
+            results = pool.run(alerts, reserved_ids(stage, 2))
+        assert not results[0].ok
+        assert "wall-clock budget" in str(results[0].error)
+        assert results[1].ok
+
+
+class TestProcessSerialization:
+    def test_script_handler_fails_per_item_on_process_backend(self):
+        registry = stu.stream_test_registry()
+        registry.register(
+            linear_handler(
+                "StreamScripted",
+                "stream-scripted",
+                [QueryAction("run_tool", source="script", script=lambda ctx: {"x": "1"})],
+            )
+        )
+        stage = build_stage(registry=registry)
+        alerts = [
+            stu.make_stream_alert(0, alert_type="StreamScripted"),
+            stu.make_stream_alert(1, alert_type=stu.SLEEPY_TYPE),
+        ]
+        pool = CollectionPool(stage, workers=2, backend="process")
+        with pool:
+            results = pool.run(alerts, reserved_ids(stage, 2))
+        assert not results[0].ok
+        assert isinstance(results[0].error, SerializationError)
+        assert results[1].ok
+        # The same handler is fine on the thread backend (no serialization).
+        thread_stage = build_stage(registry=registry)
+        thread_pool = CollectionPool(thread_stage, workers=2, backend="thread")
+        with thread_pool:
+            thread_results = thread_pool.run(alerts, reserved_ids(thread_stage, 2))
+        assert all(r.ok for r in thread_results)
+
+    def test_handler_cache_rebuilds_once_per_version(self):
+        handler = stu.stream_test_registry().match(stu.SLEEPY_TYPE)
+        doc = handler_to_dict(handler)
+        cache = HandlerCache()
+        first = cache.resolve(doc)
+        second = cache.resolve(doc)
+        assert first is second
+        assert len(cache) == 1
+        assert cache.resolve(None) is None
+        bumped = dict(doc, version=99)
+        assert cache.resolve(bumped) is not first
+        assert len(cache) == 2
+
+    def test_no_handler_behaviour_matches_across_backends(self):
+        # An alert type with no registered handler degrades (non-strict) the
+        # same way whether the miss happens in the parent or in a worker.
+        registry = HandlerRegistry()
+        for workers, backend in ((None, "thread"), (2, "process")):
+            stage = CollectionStage(registry, TelemetryHub(), CollectionConfig(strict=False))
+            pool = CollectionPool(stage, workers=workers, backend=backend)
+            with pool:
+                results = pool.run(
+                    [stu.make_stream_alert(0)], reserved_ids(stage, 1)
+                )
+            assert results[0].ok
+            assert results[0].outcome.matched_handler is None
+            assert results[0].outcome.execution is None

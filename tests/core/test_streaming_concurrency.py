@@ -1,0 +1,374 @@
+"""Concurrency test suite for the streaming front's collection worker pool.
+
+Locks the serial/pooled parity contract: for identical alert streams, the
+diagnosis reports, the per-alert failures, the post-feedback index state,
+and the ingest counters are value-identical for ``collect_workers`` of
+None, 1, and 4 and for both the thread and process backends
+(hypothesis-tested over random streams with deterministic flaky/slow
+handlers).  Also covers crash containment through the ingestor, the
+deterministic ``stop()`` drain, and the thread-safety of ``stats()`` under
+a concurrent submit/flush storm.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import streamtest_utils as stu
+from repro.core import CollectionError, IngestConfig, RCACopilot
+from repro.handlers import HandlerRegistry
+
+
+#: (collect_workers, collect_backend) variants locked to the serial baseline.
+PARITY_VARIANTS = ((None, "thread"), (1, "thread"), (4, "thread"), (2, "process"))
+
+#: One random stream element: (alert type, flaky marker planted?).
+STREAM_ELEMENT = st.tuples(
+    st.sampled_from([stu.SLEEPY_TYPE, stu.FLAKY_TYPE]), st.booleans()
+)
+
+
+@pytest.fixture(scope="module")
+def base_copilot() -> RCACopilot:
+    """One expensive indexed copilot; every run deep-copies it (~10ms)."""
+    return stu.build_stream_copilot(strict=True)
+
+
+def make_stream(spec):
+    """Materialize a hypothesis stream spec into alerts (fresh objects)."""
+    return [
+        stu.make_stream_alert(index, alert_type=alert_type, flaky=flaky)
+        for index, (alert_type, flaky) in enumerate(spec)
+    ]
+
+
+def run_stream_variant(base: RCACopilot, spec, workers, backend):
+    """Ingest the stream twice (feedback in between); return the run's telemetry.
+
+    Wave 1 diagnoses the stream, every successful incident gets an OCE-
+    confirmed label fed back, wave 2 replays the same alerts (recurrences
+    that should now retrieve the fed-back incidents).  Everything returned
+    is deterministic for a given spec, whatever the pool shape.
+    """
+    copilot = copy.deepcopy(base)
+    ingestor = copilot.stream(stu.ingest_config(workers, backend))
+    try:
+        futures1 = ingestor.submit_many(make_stream(spec))
+        ingestor.flush()
+        reports1, failures1 = stu.drain_futures(futures1)
+        fed_ids = []
+        for position in sorted(reports1):
+            incident = futures1[position].result().incident
+            ingestor.record_feedback(incident, f"ConfirmedCategory{position % 3}")
+            fed_ids.append(incident.incident_id)
+        futures2 = ingestor.submit_many(make_stream(spec))
+        ingestor.flush()
+        reports2, failures2 = stu.drain_futures(futures2)
+        return {
+            "reports1": reports1,
+            "failures1": failures1,
+            "reports2": reports2,
+            "failures2": failures2,
+            "index_state": stu.index_state(copilot, fed_ids),
+            "stats": ingestor.stats(),
+        }
+    finally:
+        ingestor.stop()
+
+
+class TestSerialPooledParity:
+    def test_pooled_flush_matches_observe_many(self, base_copilot):
+        """The pooled two-phase path equals the plain batch path exactly."""
+        spec = [(stu.SLEEPY_TYPE, False), (stu.FLAKY_TYPE, False)] * 3
+        direct = copy.deepcopy(base_copilot)
+        expected = [
+            stu.report_fingerprint(r) for r in direct.observe_many(make_stream(spec))
+        ]
+        pooled = copy.deepcopy(base_copilot)
+        ingestor = pooled.stream(stu.ingest_config(4))
+        try:
+            futures = ingestor.submit_many(make_stream(spec))
+            reports = ingestor.flush()
+            assert [stu.report_fingerprint(r) for r in reports] == expected
+            assert [
+                stu.report_fingerprint(f.result(timeout=30.0)) for f in futures
+            ] == expected
+        finally:
+            ingestor.stop()
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(spec=st.lists(STREAM_ELEMENT, min_size=1, max_size=10))
+    def test_parity_across_pool_shapes(self, base_copilot, spec):
+        """Reports, failures, feedback effects, and stats match the serial run."""
+        baseline = None
+        for workers, backend in PARITY_VARIANTS:
+            run = run_stream_variant(base_copilot, spec, workers, backend)
+            if baseline is None:
+                baseline = run
+            else:
+                assert run == baseline
+
+    @pytest.mark.slow
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(spec=st.lists(STREAM_ELEMENT, min_size=1, max_size=24))
+    def test_parity_soak(self, base_copilot, spec):
+        """Nightly: the same property over longer streams and more examples."""
+        baseline = None
+        for workers, backend in (*PARITY_VARIANTS, (3, "process")):
+            run = run_stream_variant(base_copilot, spec, workers, backend)
+            if baseline is None:
+                baseline = run
+            else:
+                assert run == baseline
+
+
+class TestCrashContainment:
+    @pytest.mark.parametrize(
+        "workers,backend", [(None, "thread"), (4, "thread"), (2, "process")]
+    )
+    def test_worker_failure_fails_only_its_future(self, base_copilot, workers, backend):
+        copilot = copy.deepcopy(base_copilot)
+        ingestor = copilot.stream(stu.ingest_config(workers, backend))
+        try:
+            flaky_positions = {1, 3}
+            alerts = [
+                stu.make_stream_alert(
+                    i, alert_type=stu.FLAKY_TYPE, flaky=(i in flaky_positions)
+                )
+                for i in range(5)
+            ]
+            futures = ingestor.submit_many(alerts)
+            reports = ingestor.flush()
+            # The batch still predicted: every non-flaky alert has a report.
+            assert len(reports) == len(alerts) - len(flaky_positions)
+            for position, future in enumerate(futures):
+                if position in flaky_positions:
+                    with pytest.raises(CollectionError, match="simulated telemetry outage"):
+                        future.result(timeout=30.0)
+                else:
+                    assert future.result(timeout=30.0).predicted_label
+            stats = ingestor.stats()
+            assert stats.processed == len(alerts)
+            assert stats.collect_failures == len(flaky_positions)
+            # The pool survives for the next wave.
+            wave2 = ingestor.submit_many(
+                [stu.make_stream_alert(100 + i) for i in range(3)]
+            )
+            ingestor.flush()
+            assert all(f.result(timeout=30.0).predicted_label for f in wave2)
+            assert ingestor.stats().collect_failures == len(flaky_positions)
+        finally:
+            ingestor.stop()
+
+    def test_failure_callback_may_reenter_ingestor(self, base_copilot):
+        """Futures are resolved outside the ingestion lock.
+
+        A done-callback that re-enters the ingestor (here: record_feedback,
+        which takes the same lock as batch processing) must not deadlock the
+        flushing thread — regression for failure futures being resolved
+        while the lock was still held.
+        """
+        copilot = copy.deepcopy(base_copilot)
+        ingestor = copilot.stream(stu.ingest_config(2))
+        try:
+            flaky = stu.make_stream_alert(0, alert_type=stu.FLAKY_TYPE, flaky=True)
+            future = ingestor.submit(flaky)
+            incident = copilot.history.all()[0]
+            reentered = []
+
+            def callback(resolved):
+                ingestor.record_feedback(incident, "CallbackConfirmed")
+                reentered.append(True)
+
+            future.add_done_callback(callback)
+            ingestor.flush()  # deadlocks here if failures resolve under the lock
+            assert reentered == [True]
+            with pytest.raises(CollectionError):
+                future.result(timeout=0)
+            assert copilot.history.get(incident.incident_id).category == "CallbackConfirmed"
+        finally:
+            ingestor.stop()
+
+    def test_collect_metrics_reach_hub(self, base_copilot):
+        copilot = copy.deepcopy(base_copilot)
+        ingestor = copilot.stream(stu.ingest_config(4))
+        try:
+            ingestor.submit_many([stu.make_stream_alert(i) for i in range(4)])
+            ingestor.flush()
+        finally:
+            ingestor.stop()
+        names = copilot.hub.metrics.metric_names()
+        for suffix in (
+            "collect_pool_size",
+            "collect_seconds",
+            "predict_seconds",
+            "collect_utilization",
+            "collect_failures",
+        ):
+            assert f"rcacopilot.ingest.{suffix}" in names
+        latest = copilot.hub.metrics.latest(
+            "rcacopilot.ingest.collect_pool_size", "stream-ingestor"
+        )
+        assert latest == 4.0
+        utilization = copilot.hub.metrics.latest(
+            "rcacopilot.ingest.collect_utilization", "stream-ingestor"
+        )
+        assert 0.0 <= utilization <= 1.0
+
+
+def cheap_copilot() -> RCACopilot:
+    """A collection-only copilot (no handlers, no index) for soak tests."""
+    return stu.build_stream_copilot(
+        strict=False, registry=HandlerRegistry(), with_history=False
+    )
+
+
+class TestStopDrain:
+    def test_alert_enqueued_after_final_poll_is_not_dropped(self):
+        """White-box regression for the stop() race.
+
+        The worker exits on its first empty poll after the stop signal; an
+        alert submitted *after* that exit but *before* ``stop()`` finishes
+        must still be processed by the deterministic drain.
+        """
+        ingestor = cheap_copilot().stream(
+            IngestConfig(max_batch=4, max_latency_seconds=0.01)
+        ).start()
+        ingestor._stopping.set()
+        assert ingestor._worker is not None
+        ingestor._worker.join(timeout=30.0)
+        assert not ingestor._worker.is_alive()
+        late = ingestor.submit(stu.make_stream_alert(0))
+        ingestor.stop()
+        assert late.done()
+        assert late.result(timeout=0).incident.incident_id
+        stats = ingestor.stats()
+        assert stats.processed == stats.submitted == 1
+
+    def test_stop_races_concurrent_producer_without_losing_alerts(self):
+        total = 40
+        ingestor = cheap_copilot().stream(
+            IngestConfig(max_batch=8, max_latency_seconds=0.005)
+        ).start()
+        futures = []
+
+        def produce():
+            for index in range(total):
+                futures.append(ingestor.submit(stu.make_stream_alert(index)))
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        time.sleep(0.01)
+        ingestor.stop()  # races the producer; must neither hang nor drop
+        producer.join(timeout=30.0)
+        assert not producer.is_alive()
+        ingestor.flush()  # mop up anything submitted after stop() returned
+        assert len(futures) == total
+        for future in futures:
+            assert future.result(timeout=30.0) is not None
+        stats = ingestor.stats()
+        assert stats.processed == stats.submitted == total
+
+
+class TestStatsUnderConcurrency:
+    def test_stats_snapshots_stay_consistent_under_storm(self):
+        """Satellite regression: hammer stats() while submit/flush mutate.
+
+        Every snapshot must satisfy the counter invariants — in particular
+        ``processed <= submitted``, which only holds because ``submit``
+        counts the submission *before* enqueueing — and iterating the
+        snapshot (``as_dict``) must never race the live flush-reason dict.
+        """
+        per_producer, producers = 30, 2
+        total = per_producer * producers
+        ingestor = cheap_copilot().stream(
+            IngestConfig(max_batch=4, max_latency_seconds=0.001)
+        ).start()
+        stop_reading = threading.Event()
+        violations = []
+
+        def read_loop():
+            while not stop_reading.is_set():
+                snapshot = ingestor.stats()
+                flat = ingestor.stats_dict()
+                if snapshot.processed > snapshot.submitted:
+                    violations.append(
+                        f"processed {snapshot.processed} > submitted {snapshot.submitted}"
+                    )
+                if sum(snapshot.flush_reasons.values()) != snapshot.batches:
+                    violations.append(
+                        f"flush reasons {snapshot.flush_reasons} != batches {snapshot.batches}"
+                    )
+                if flat["processed"] > flat["submitted"]:
+                    violations.append("flat snapshot processed > submitted")
+
+        def produce(offset):
+            for index in range(per_producer):
+                ingestor.submit(stu.make_stream_alert(offset + index))
+
+        readers = [threading.Thread(target=read_loop) for _ in range(4)]
+        writers = [
+            threading.Thread(target=produce, args=(i * per_producer,))
+            for i in range(producers)
+        ]
+        for thread in readers + writers:
+            thread.start()
+        try:
+            for thread in writers:
+                thread.join(timeout=60.0)
+            ingestor.stop()
+        finally:
+            stop_reading.set()
+            for thread in readers:
+                thread.join(timeout=30.0)
+        assert not violations, violations[:5]
+        stats = ingestor.stats()
+        assert stats.processed == stats.submitted == total
+        assert sum(stats.flush_reasons.values()) == stats.batches
+
+    @pytest.mark.slow
+    def test_background_pooled_soak(self, base_copilot):
+        """Nightly: background worker + 4 collect workers under a long burst."""
+        copilot = copy.deepcopy(base_copilot)
+        config = IngestConfig(
+            max_batch=8, max_latency_seconds=0.005, collect_workers=4
+        )
+        total = 200
+        with copilot.stream(config) as ingestor:
+            futures = [
+                ingestor.submit(
+                    stu.make_stream_alert(
+                        i,
+                        alert_type=(stu.FLAKY_TYPE if i % 7 == 3 else stu.SLEEPY_TYPE),
+                        flaky=(i % 14 == 3),
+                    )
+                )
+                for i in range(total)
+            ]
+            resolved = 0
+            for future in futures:
+                try:
+                    future.result(timeout=120.0)
+                except CollectionError:
+                    pass
+                resolved += 1
+        assert resolved == total
+        stats = ingestor.stats()
+        assert stats.processed == stats.submitted == total
+        assert stats.collect_failures == sum(
+            1 for i in range(total) if i % 14 == 3
+        )
