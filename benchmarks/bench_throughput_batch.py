@@ -29,7 +29,7 @@ import numpy as np
 
 from bench_utils import read_results, write_results
 
-from repro.core import IngestConfig, RCACopilot
+from repro.core import AutoscalePolicy, IngestConfig, RCACopilot
 from repro.datagen import generate_corpus
 from repro.handlers import (
     HandlerRegistry,
@@ -306,4 +306,141 @@ def test_collect_bound_ingest_worker_pool(collect_bound_soak):
     assert speedup >= 2.0, (
         f"4 collect workers must give >= 2x ingest throughput on a "
         f"collect-bound stream, got {speedup:.2f}x"
+    )
+
+
+# ------------------------------------------------------------ bursty arrival
+#: Bursty-arrival profile: alternating collect-bound bursts and idle
+#: trickles.  The autoscaled pool must stay within 1.2x of the best static
+#: size on wall time while paying fewer worker-seconds over the idle
+#: phases (a static pool keeps all its lanes through the quiet stretches).
+BURST_ALERTS = 24
+BURST_COUNT = 6
+QUICK_BURST_COUNT = 3
+IDLE_ALERTS = 5
+BURSTY_MAX_BATCH = 8
+STATIC_POOL_SIZES = (1, 2, 4)
+AUTOSCALE_MAX = 4
+
+
+def _bursty_config(workers, autoscaled: bool) -> IngestConfig:
+    policy = None
+    if autoscaled:
+        # Responsive profile for second-scale bursts: a single batch of
+        # evidence moves the pool, a deep backlog jumps it straight to the
+        # ceiling before the batch runs (so a burst arriving at a shrunken
+        # pool never pays a slow first batch).
+        policy = AutoscalePolicy(
+            high_utilization=0.8,
+            low_utilization=0.3,
+            ewma_alpha=1.0,
+            hysteresis_batches=1,
+            shrink_step=2,
+            cooldown_seconds=0.0,
+            burst_queue_factor=1.5,
+        )
+    return IngestConfig(
+        max_batch=BURSTY_MAX_BATCH,
+        max_latency_seconds=5.0,
+        collect_workers=workers,
+        collect_workers_min=1,
+        collect_workers_max=AUTOSCALE_MAX,
+        autoscale=policy,
+    )
+
+
+def _bursty_stream(copilot: RCACopilot, config: IngestConfig, bursts: int) -> tuple:
+    """(wall seconds, worker-seconds, labels) for one pool configuration."""
+    ingestor = copilot.stream(config)
+    labels = []
+    index = 0
+    started = time.perf_counter()
+    for _ in range(bursts):
+        burst = _collect_bound_alerts(BURST_ALERTS + IDLE_ALERTS + index)[index:]
+        ingestor.submit_many(burst[:BURST_ALERTS])
+        labels.extend(r.predicted_label for r in ingestor.flush())
+        # Idle trickle: one sparse alert per flush, so every batch boundary
+        # sees an (almost) empty queue and a mostly-idle pool.
+        for alert in burst[BURST_ALERTS:]:
+            ingestor.submit(alert)
+            labels.extend(r.predicted_label for r in ingestor.flush())
+        index += BURST_ALERTS + IDLE_ALERTS
+    wall = time.perf_counter() - started
+    ingestor.stop()
+    worker_seconds = copilot.hub.metrics.latest(
+        "rcacopilot.ingest.collect_worker_seconds_total", "stream-ingestor"
+    )
+    return wall, worker_seconds, labels
+
+
+def test_bursty_arrival_autoscaled_pool(quick_mode):
+    """Autoscaling rides bursts at static-pool speed but sheds idle capacity.
+
+    Static pools of 1/2/4 workers and the autoscaled (1..4) pool replay the
+    same bursty stream.  Gates: identical labels everywhere, autoscaled
+    wall time within 1.2x of the best static size, and strictly fewer
+    worker-seconds than that best static pool (the savings come from the
+    idle phases, where the autoscaler shrinks).
+    """
+    bursts = QUICK_BURST_COUNT if quick_mode else BURST_COUNT
+    base = _collect_bound_copilot()
+    base.observe(_collect_bound_alerts(1)[0])  # untimed warm-up
+
+    results = {}
+    for workers in STATIC_POOL_SIZES:
+        copilot = copy.deepcopy(base)
+        results[f"static_{workers}"] = _bursty_stream(
+            copilot, _bursty_config(workers, autoscaled=False), bursts
+        )
+    auto_copilot = copy.deepcopy(base)
+    auto_wall, auto_ws, auto_labels = _bursty_stream(
+        auto_copilot, _bursty_config(None, autoscaled=True), bursts
+    )
+
+    print()
+    print(f"{'pool':>12} {'wall s':>8} {'worker-s':>9}")
+    for name, (wall, worker_seconds, _) in results.items():
+        print(f"{name:>12} {wall:>8.2f} {worker_seconds:>9.2f}")
+    print(f"{'autoscaled':>12} {auto_wall:>8.2f} {auto_ws:>9.2f}")
+
+    best_name = min(results, key=lambda name: results[name][0])
+    best_wall, best_ws, best_labels = results[best_name]
+    # Parity: the autoscaled stream produces the exact labels of every
+    # static pool (the batch-boundary resize guarantee).
+    for _, _, labels in results.values():
+        assert labels == auto_labels
+    wall_ratio = auto_wall / best_wall
+    print(
+        f"best static: {best_name} ({best_wall:.2f}s); autoscaled "
+        f"{wall_ratio:.2f}x wall, {auto_ws / best_ws:.2f}x worker-seconds"
+    )
+    merged = read_results("BENCH_throughput.json")
+    merged.setdefault("benchmark", "throughput_batch")
+    merged["bursty_autoscale"] = {
+        "bursts": bursts,
+        "burst_alerts": BURST_ALERTS,
+        "idle_alerts": IDLE_ALERTS,
+        "sleep_seconds": COLLECT_SLEEP_SECONDS,
+        "cores": os.cpu_count() or 1,
+        "quick_mode": bool(quick_mode),
+        "static": {
+            name: {"wall_seconds": wall, "worker_seconds": worker_seconds}
+            for name, (wall, worker_seconds, _) in results.items()
+        },
+        "autoscaled": {
+            "wall_seconds": auto_wall,
+            "worker_seconds": auto_ws,
+            "wall_ratio_vs_best_static": wall_ratio,
+            "worker_seconds_ratio_vs_best_static": auto_ws / best_ws,
+        },
+    }
+    path = write_results("BENCH_throughput.json", merged)
+    print(f"machine-readable results: {path}")
+    assert wall_ratio <= 1.2, (
+        f"autoscaled pool must stay within 1.2x of the best static size "
+        f"({best_name}), got {wall_ratio:.2f}x"
+    )
+    assert auto_ws < best_ws, (
+        f"autoscaled pool must spend fewer worker-seconds than {best_name} "
+        f"({auto_ws:.2f} vs {best_ws:.2f})"
     )

@@ -27,7 +27,13 @@ Run with::
 from __future__ import annotations
 
 from repro.cloudsim import TransportService
-from repro.core import IndexConfig, IngestConfig, PipelineConfig, RCACopilot
+from repro.core import (
+    AutoscalePolicy,
+    IndexConfig,
+    IngestConfig,
+    PipelineConfig,
+    RCACopilot,
+)
 from repro.datagen import generate_corpus
 from repro.vectordb import CompactionPolicy
 
@@ -54,11 +60,22 @@ def main() -> None:
             ),
         ),
         # The collection phase of each micro-batch (handler action graphs:
-        # log pulls, probe queries) runs on 4 worker threads; prediction
-        # stays batched.  Diagnosis reports and ingest counters are
-        # identical to the serial (collect_workers=None) path.
+        # log pulls, probe queries) runs on a worker-thread pool whose size
+        # is autoscaled between 1 and 4 from measured per-batch utilization
+        # (grow on sustained high utilization or a deep backlog, shrink
+        # when idle; resizes only at batch boundaries).  Diagnosis reports
+        # and ingest counters are identical to any static pool size.
         ingest=IngestConfig(
-            max_batch=4, max_latency_seconds=0.2, collect_workers=4
+            max_batch=4,
+            max_latency_seconds=0.2,
+            collect_workers_min=1,
+            collect_workers_max=4,
+            autoscale=AutoscalePolicy(
+                high_utilization=0.75,
+                low_utilization=0.25,
+                hysteresis_batches=1,
+                cooldown_seconds=0.0,
+            ),
         ),
     )
     copilot = RCACopilot(service.hub, config=config)
@@ -140,6 +157,15 @@ def main() -> None:
         f"collection pool: {int(pool_size)} worker(s), last batch "
         f"{utilization:.0%} utilised (collect {collect_seconds * 1000:.1f}ms, "
         f"predict {predict_seconds * 1000:.1f}ms)"
+    )
+    flat = ingestor.stats_dict()
+    print(
+        f"autoscaler: pool now {int(flat['autoscale_pool_size'])} worker(s) in "
+        f"[{int(flat['autoscale_pool_min'])}, {int(flat['autoscale_pool_max'])}], "
+        f"utilization EWMA {flat['autoscale_utilization_ewma']:.0%}; "
+        f"{int(flat['autoscale_scale_up_total'])} scale-up(s) "
+        f"({int(flat['autoscale_burst_grow_total'])} burst), "
+        f"{int(flat['autoscale_scale_down_total'])} scale-down(s)"
     )
     index_stats = copilot.prediction.index.stats()
     print(

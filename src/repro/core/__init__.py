@@ -1,6 +1,8 @@
 """Core RCACopilot pipeline: configuration, collection stage, prediction stage,
 and the streaming micro-batch ingestion front."""
 
+from .autoscale import AutoscalePolicy, PoolAutoscaler
+from .clock import MONOTONIC_CLOCK, Clock, MonotonicClock
 from .collect_pool import CollectionPool, CollectResult
 from .collection import CollectionOutcome, CollectionStage
 from .config import (
@@ -30,6 +32,11 @@ from .prediction import (
 from .streaming import IngestStats, StreamIngestor
 
 __all__ = [
+    "AutoscalePolicy",
+    "PoolAutoscaler",
+    "Clock",
+    "MonotonicClock",
+    "MONOTONIC_CLOCK",
     "CollectionPool",
     "CollectResult",
     "CollectionOutcome",

@@ -1,0 +1,223 @@
+"""Utilization-driven autoscaling of the collection worker pool.
+
+The streaming front's collection phase is latency-bound and per-alert
+(handler action graphs: log pulls, probe queries) while its prediction
+phase is batched — so the right collection pool size tracks the *offered
+collect load*, which is bursty.  A static ``IngestConfig.collect_workers``
+makes the operator guess; :class:`PoolAutoscaler` observes what each
+flushed micro-batch actually measured — pool utilization (the
+``rcacopilot.ingest.collect_utilization`` gauge), queue backlog, and the
+collect/predict phase split — and resizes the pool between configured
+bounds instead.
+
+Control rules, evaluated once per micro-batch at the batch boundary (the
+only point where the pool is guaranteed idle, so a resize can never strand
+an in-flight task or perturb the submission-order fold):
+
+* the utilization signal is smoothed with an EWMA so one odd batch cannot
+  flap the pool;
+* **grow** by ``grow_step`` after ``hysteresis_batches`` consecutive
+  batches with EWMA at or above ``high_utilization``;
+* **shrink** by ``shrink_step`` after ``hysteresis_batches`` consecutive
+  batches with EWMA at or below ``low_utilization`` — and only while the
+  queue is empty (never surrender capacity under a backlog);
+* the dead band between the two thresholds plus a ``cooldown_seconds``
+  minimum spacing between scale events prevent flapping;
+* **burst grow**: a pre-batch check jumps straight to the maximum when the
+  queue backlog reaches ``burst_queue_factor`` flush windows — reacting to
+  an arriving burst *before* burning a slow batch on an undersized pool.
+  Burst grow bypasses hysteresis (the backlog is the evidence) but still
+  respects the cooldown.
+
+Decisions are a pure function of the observation sequence and the injected
+:class:`~repro.core.clock.Clock`, so the whole control loop is
+deterministic under a fake clock — the property the test harness locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .clock import MONOTONIC_CLOCK, Clock
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Control-loop knobs of the collection-pool autoscaler.
+
+    The defaults are conservative: scale events need two consecutive
+    batches of evidence and are spaced at least ten seconds apart, so a
+    pool serving a steady stream settles instead of oscillating.
+    """
+
+    #: Grow when the utilization EWMA is at or above this (0..1].
+    high_utilization: float = 0.85
+    #: Shrink when the utilization EWMA is at or below this [0..1).
+    low_utilization: float = 0.35
+    #: EWMA smoothing weight of the newest batch's utilization (0..1].
+    ewma_alpha: float = 0.4
+    #: Workers added per grow event.
+    grow_step: int = 1
+    #: Workers removed per shrink event.
+    shrink_step: int = 1
+    #: Consecutive batches beyond a threshold required before scaling.
+    hysteresis_batches: int = 2
+    #: Minimum clock time between any two scale events.
+    cooldown_seconds: float = 10.0
+    #: Jump straight to the maximum when the pre-batch queue backlog
+    #: reaches this many flush windows (``max_batch`` alerts each);
+    #: None disables burst grow.
+    burst_queue_factor: Optional[float] = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low_utilization < self.high_utilization <= 1.0:
+            raise ValueError(
+                "utilization thresholds must satisfy "
+                "0 <= low_utilization < high_utilization <= 1"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.grow_step < 1 or self.shrink_step < 1:
+            raise ValueError("grow_step and shrink_step must be positive")
+        if self.hysteresis_batches < 1:
+            raise ValueError("hysteresis_batches must be positive")
+        if self.cooldown_seconds < 0.0:
+            raise ValueError("cooldown_seconds must be non-negative")
+        if self.burst_queue_factor is not None and self.burst_queue_factor <= 0.0:
+            raise ValueError("burst_queue_factor must be positive (or None)")
+
+
+class PoolAutoscaler:
+    """Sizes a :class:`~repro.core.collect_pool.CollectionPool` between bounds.
+
+    The owning :class:`~repro.core.streaming.StreamIngestor` calls
+    :meth:`before_batch` just before a micro-batch's collection phase and
+    :meth:`observe` just after its prediction phase, both under the
+    ingestion lock; each returns the target pool size, and the ingestor
+    applies any change through :meth:`CollectionPool.resize` — so every
+    resize happens at a batch boundary with the pool idle.
+    """
+
+    def __init__(
+        self,
+        policy: AutoscalePolicy,
+        minimum: int,
+        maximum: int,
+        initial: Optional[int] = None,
+        max_batch: int = 1,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if minimum < 1:
+            raise ValueError("minimum pool size must be positive")
+        if maximum < minimum:
+            raise ValueError("maximum pool size must be >= minimum")
+        self.policy = policy
+        self.minimum = minimum
+        self.maximum = maximum
+        self.max_batch = max(1, max_batch)
+        self._clock = clock or MONOTONIC_CLOCK
+        start = minimum if initial is None else initial
+        self.size = min(max(start, minimum), maximum)
+        #: EWMA of per-batch utilization; None until the first observation.
+        self.ewma: Optional[float] = None
+        self._high_streak = 0
+        self._low_streak = 0
+        self._last_event_at: Optional[float] = None
+        self.scale_up_events = 0
+        self.scale_down_events = 0
+        self.burst_grow_events = 0
+
+    # ---------------------------------------------------------------- decisions
+    def before_batch(self, queue_depth: int) -> int:
+        """Pre-batch decision: burst-grow against the current backlog."""
+        factor = self.policy.burst_queue_factor
+        if (
+            factor is not None
+            and self.size < self.maximum
+            and queue_depth >= factor * self.max_batch
+            and not self._in_cooldown()
+        ):
+            self._scale_to(self.maximum, grow=True)
+            self.burst_grow_events += 1
+        return self.size
+
+    def observe(
+        self,
+        utilization: float,
+        queue_depth: int,
+        collect_seconds: float = 0.0,
+        predict_seconds: float = 0.0,
+    ) -> int:
+        """Post-batch decision from the batch's measured signals.
+
+        ``collect_seconds``/``predict_seconds`` refine the grow signal: a
+        batch whose wall time is dominated by prediction gains nothing from
+        more collection workers, so growth additionally requires the
+        collection phase to be at least as long as the prediction phase
+        (unless neither was measured).
+        """
+        alpha = self.policy.ewma_alpha
+        if self.ewma is None:
+            self.ewma = utilization
+        else:
+            self.ewma = alpha * utilization + (1.0 - alpha) * self.ewma
+        collect_bound = (
+            collect_seconds >= predict_seconds
+            if (collect_seconds > 0.0 or predict_seconds > 0.0)
+            else True
+        )
+        if self.ewma >= self.policy.high_utilization and collect_bound:
+            self._high_streak += 1
+        else:
+            self._high_streak = 0
+        if self.ewma <= self.policy.low_utilization:
+            self._low_streak += 1
+        else:
+            self._low_streak = 0
+        if self._in_cooldown():
+            return self.size
+        if (
+            self._high_streak >= self.policy.hysteresis_batches
+            and self.size < self.maximum
+        ):
+            self._scale_to(self.size + self.policy.grow_step, grow=True)
+        elif (
+            self._low_streak >= self.policy.hysteresis_batches
+            and self.size > self.minimum
+            and queue_depth == 0
+        ):
+            self._scale_to(self.size - self.policy.shrink_step, grow=False)
+        return self.size
+
+    def _in_cooldown(self) -> bool:
+        if self._last_event_at is None:
+            return False
+        elapsed = self._clock.monotonic() - self._last_event_at
+        return elapsed < self.policy.cooldown_seconds
+
+    def _scale_to(self, target: int, grow: bool) -> None:
+        target = min(max(target, self.minimum), self.maximum)
+        if target == self.size:
+            return
+        self.size = target
+        self._last_event_at = self._clock.monotonic()
+        self._high_streak = 0
+        self._low_streak = 0
+        if grow:
+            self.scale_up_events += 1
+        else:
+            self.scale_down_events += 1
+
+    # ------------------------------------------------------------------- stats
+    def stats_dict(self) -> Dict[str, float]:
+        """The control loop's state as a flat metric mapping."""
+        return {
+            "pool_size": float(self.size),
+            "pool_min": float(self.minimum),
+            "pool_max": float(self.maximum),
+            "utilization_ewma": float(self.ewma if self.ewma is not None else 0.0),
+            "scale_up_total": float(self.scale_up_events),
+            "scale_down_total": float(self.scale_down_events),
+            "burst_grow_total": float(self.burst_grow_events),
+        }

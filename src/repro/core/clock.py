@@ -1,0 +1,85 @@
+"""Injectable time source for the streaming front and its control loops.
+
+Everything timing-dependent in the ingestion path — micro-batch latency
+deadlines, worker polling, collection-phase wall times, and the pool
+autoscaler's cooldown window — reads time through a :class:`Clock` instead
+of calling :mod:`time` directly.  Production uses :class:`MonotonicClock`
+(real ``time.monotonic``/``time.sleep``); tests inject a step-controlled
+fake (``tests/core/streamtest_utils.FakeClock``) so every latency-flush,
+cooldown, and utilization-window path runs deterministically, without real
+sleeps or wall-clock races.
+
+The interface is deliberately small:
+
+* :meth:`Clock.monotonic` — the timeline every deadline and duration is
+  computed on;
+* :meth:`Clock.sleep` — how a thread waits for that timeline to progress;
+* :meth:`Clock.time` — wall-clock timestamps for telemetry export;
+* :meth:`Clock.wait_queue` — a ``queue.Queue.get`` bounded by *clock* time
+  rather than real time.  The real clock delegates to the queue's own
+  blocking get (so an arriving item still wakes the worker immediately); a
+  fake clock parks the caller until virtual time advances past the timeout;
+* :meth:`Clock.wake` — interrupt currently parked sleepers (``stop()``
+  re-issues it on a join loop so a worker parked on a fake clock observes
+  the stop signal; a wake with nobody parked is a no-op and leaves no
+  state behind).  Always a no-op for the real clock, whose waits are
+  bounded by real timeouts.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Any
+
+
+class Clock:
+    """Time-source interface; the default implementation is the real clock."""
+
+    def monotonic(self) -> float:
+        """Monotonic seconds; the basis of all deadlines and durations."""
+        raise NotImplementedError
+
+    def time(self) -> float:
+        """Wall-clock seconds since the epoch, for telemetry timestamps."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block the calling thread until ``seconds`` of clock time pass."""
+        raise NotImplementedError
+
+    def wait_queue(self, source: "queue.Queue", timeout: float) -> Any:
+        """Take one item from ``source``, waiting at most ``timeout`` clock
+        seconds; raises :class:`queue.Empty` when the wait expires."""
+        raise NotImplementedError
+
+    def wake(self) -> None:
+        """Interrupt threads currently parked in :meth:`sleep`/:meth:`wait_queue`.
+
+        Real-clock waits are bounded by real timeouts, so the default is a
+        no-op; fake clocks override it so ``stop()`` can unpark a worker
+        whose virtual wait would otherwise never elapse.  A wake with no
+        parked sleeper does nothing — callers that must close the
+        signal-then-park race re-issue the wake (as ``stop()`` does on its
+        join loop) rather than rely on the clock remembering it.
+        """
+
+
+class MonotonicClock(Clock):
+    """The real clock: ``time.monotonic``/``time.time``/``time.sleep``."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def time(self) -> float:
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+    def wait_queue(self, source: "queue.Queue", timeout: float) -> Any:
+        return source.get(timeout=timeout)
+
+
+#: Shared default instance (the clock is stateless).
+MONOTONIC_CLOCK = MonotonicClock()

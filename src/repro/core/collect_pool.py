@@ -51,6 +51,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..handlers import HandlerCache, HandlerRegistry, handler_to_dict
 from ..incidents import Incident
 from ..monitors import Alert
+from .clock import MONOTONIC_CLOCK, Clock
 from .collection import CollectionOutcome, CollectionStage
 
 
@@ -127,6 +128,7 @@ class CollectionPool:
         stage: CollectionStage,
         workers: Optional[int] = None,
         backend: str = "thread",
+        clock: Optional[Clock] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive (or None for serial)")
@@ -137,7 +139,21 @@ class CollectionPool:
         self.stage = stage
         self.workers = workers
         self.backend = backend
+        #: Time source for per-task wall times and worker-second accounting.
+        #: Process-backend tasks still time themselves with the real clock —
+        #: a step-controlled clock cannot coordinate across the process
+        #: boundary (see :func:`_collect_in_worker`).
+        self.clock = clock or MONOTONIC_CLOCK
         self._executor: Optional[Executor] = None
+        #: Executors retired by :meth:`resize`; their threads exit on their
+        #: own, and :meth:`close` joins them so a stopped ingestor provably
+        #: leaks nothing.
+        self._retired: List[Executor] = []
+        #: Scale events applied to this pool (grow + shrink + rebuilds).
+        self.resize_events = 0
+        #: Σ pool_size × wave wall time: the capacity paid for, whether or
+        #: not it was used.  The autoscaling benchmark's economy metric.
+        self.worker_seconds = 0.0
         #: Parent-side cache of serialized handler documents, keyed by the
         #: same (alert type, name, version) triple the worker-side
         #: :class:`HandlerCache` uses — each handler version is serialized
@@ -149,6 +165,43 @@ class CollectionPool:
     def pool_size(self) -> int:
         """Workers in the pool (0 = serial mode)."""
         return 0 if self.workers is None else self.workers
+
+    def resize(self, workers: int) -> None:
+        """Change the worker count; callers must be at a batch boundary.
+
+        Only valid between :meth:`run` calls (the stream ingestor resizes
+        under its ingestion lock, after one micro-batch and before the
+        next), so no task is ever in flight across a resize.  Growing a
+        thread pool is in-place — :class:`ThreadPoolExecutor` spawns
+        threads lazily up to its ceiling, so raising the ceiling suffices.
+        Shrinking a thread pool, and any resize of a process pool, retires
+        the idle executor instead; the next wave lazily rebuilds at the new
+        size (the rebuild-at-wave path the process backend already uses
+        after a worker crash).
+        """
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if self.workers is None:
+            raise RuntimeError("cannot resize a serial pool")
+        if workers == self.workers:
+            return
+        growing = workers > self.workers
+        self.workers = workers
+        self.resize_events += 1
+        if self._executor is None:
+            return
+        if (
+            growing
+            and self.backend == "thread"
+            and hasattr(self._executor, "_max_workers")
+        ):
+            # CPython's ThreadPoolExecutor checks this ceiling on every
+            # submit and spawns workers lazily up to it.
+            self._executor._max_workers = workers
+            return
+        self._executor.shutdown(wait=False)
+        self._retired.append(self._executor)
+        self._executor = None
 
     # -------------------------------------------------------------------- run
     def run(
@@ -162,6 +215,21 @@ class CollectionPool:
         """
         if len(alerts) != len(incident_ids):
             raise ValueError("one pre-reserved incident id is required per alert")
+        # Join executors retired by earlier resizes: their workers were told
+        # to exit at retire time (the pool was idle), so this is effectively
+        # instant — and it keeps _retired from growing without bound on a
+        # long-lived stream whose autoscaler flaps.
+        self._prune_retired()
+        wave_started = self.clock.monotonic()
+        try:
+            return self._run_wave(alerts, incident_ids)
+        finally:
+            lanes = self.workers if self.workers else 1
+            self.worker_seconds += lanes * (self.clock.monotonic() - wave_started)
+
+    def _run_wave(
+        self, alerts: Sequence[Alert], incident_ids: Sequence[str]
+    ) -> List[CollectResult]:
         if self.workers is None:
             return [
                 self._collect_guarded(index, alert, incident_id)
@@ -208,7 +276,7 @@ class CollectionPool:
         self, index: int, alert: Alert, incident_id: str
     ) -> CollectResult:
         """Serial-mode parse+collect with the same per-item containment."""
-        started = time.perf_counter()
+        started = self.clock.monotonic()
         try:
             incident, outcome, seconds = self._collect_local(alert, incident_id)
         except Exception as exc:  # noqa: BLE001 - contained per item
@@ -216,7 +284,7 @@ class CollectionPool:
                 index=index,
                 alert=alert,
                 error=exc,
-                seconds=time.perf_counter() - started,
+                seconds=self.clock.monotonic() - started,
             )
         return CollectResult(
             index=index,
@@ -245,10 +313,10 @@ class CollectionPool:
         self, alert: Alert, incident_id: str
     ) -> Tuple[Incident, CollectionOutcome, float]:
         """Thread-backend task: parse + collect against the live stage."""
-        started = time.perf_counter()
+        started = self.clock.monotonic()
         incident = self.stage.parse_alert(alert, incident_id=incident_id)
         outcome = self.stage.collect(incident)
-        return incident, outcome, time.perf_counter() - started
+        return incident, outcome, self.clock.monotonic() - started
 
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
@@ -288,10 +356,23 @@ class CollectionPool:
 
     # ------------------------------------------------------------------- close
     def close(self) -> None:
-        """Shut the executor down; a later :meth:`run` lazily recreates it."""
+        """Shut the executor down; a later :meth:`run` lazily recreates it.
+
+        Also joins every executor retired by earlier :meth:`resize` calls —
+        their workers were told to exit when they were retired, so this is
+        normally instant, but it makes "no threads survive a stopped
+        ingestor" a guarantee rather than a likelihood.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        self._prune_retired()
+
+    def _prune_retired(self) -> None:
+        """Join and drop executors retired by :meth:`resize`."""
+        for executor in self._retired:
+            executor.shutdown(wait=True)
+        self._retired.clear()
 
     def __enter__(self) -> "CollectionPool":
         return self

@@ -7,6 +7,7 @@ from enum import Enum
 from typing import Optional
 
 from ..vectordb import DEFAULT_ALPHA, DEFAULT_K, CompactionPolicy
+from .autoscale import AutoscalePolicy
 
 
 class ContextSource(str, Enum):
@@ -155,6 +156,17 @@ class IngestConfig:
     #: their JSON serialization, so script actions and unregistered
     #: classifiers cannot cross the process boundary).
     collect_backend: str = "thread"
+    #: Utilization-driven autoscaling of the collection pool: an
+    #: :class:`~repro.core.autoscale.AutoscalePolicy` enables the control
+    #: loop (grow on sustained high utilization, shrink when idle,
+    #: hysteresis + cooldown against flapping; resizes only at batch
+    #: boundaries, so reports and counters stay identical to a static
+    #: pool).  None (the default) keeps the pool at ``collect_workers``.
+    autoscale: Optional[AutoscalePolicy] = None
+    #: Autoscaler floor: the pool never shrinks below this many workers.
+    collect_workers_min: int = 1
+    #: Autoscaler ceiling: the pool never grows beyond this many workers.
+    collect_workers_max: int = 8
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -170,6 +182,33 @@ class IngestConfig:
                 f"unknown collect backend: {self.collect_backend!r} "
                 "(expected 'thread' or 'process')"
             )
+        if self.collect_workers_min < 1:
+            raise ValueError("collect_workers_min must be positive")
+        if self.collect_workers_max < self.collect_workers_min:
+            raise ValueError("collect_workers_max must be >= collect_workers_min")
+        if self.autoscale is not None and self.collect_workers is not None:
+            if not (
+                self.collect_workers_min
+                <= self.collect_workers
+                <= self.collect_workers_max
+            ):
+                raise ValueError(
+                    "with autoscaling enabled, collect_workers is the starting "
+                    "size and must lie within "
+                    "[collect_workers_min, collect_workers_max]"
+                )
+
+    def initial_collect_workers(self) -> Optional[int]:
+        """The pool size an ingestor starts with under this config.
+
+        ``collect_workers`` when set; with autoscaling enabled and no
+        explicit start, the autoscaler's floor (the loop grows from there).
+        """
+        if self.collect_workers is not None:
+            return self.collect_workers
+        if self.autoscale is not None:
+            return self.collect_workers_min
+        return None
 
 
 @dataclass

@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..handlers import HandlerRegistry, default_registry
 from ..incidents import Incident, IncidentStore
 from ..llm import ChatModel, SimulatedLLM
 from ..monitors import Alert
 from ..telemetry import TelemetryHub
+from .clock import Clock
 from .collection import CollectionOutcome, CollectionStage
 from .config import IngestConfig, PipelineConfig
 from .prediction import PredictionOutcome, PredictionStage
@@ -125,14 +126,21 @@ class RCACopilot:
             self.prediction.add_to_index(stored)
 
     # ---------------------------------------------------------------- streaming
-    def stream(self, config: Optional[IngestConfig] = None) -> StreamIngestor:
+    def stream(
+        self,
+        config: Optional[IngestConfig] = None,
+        clock: Optional["Clock"] = None,
+    ) -> StreamIngestor:
         """A micro-batching ingestion front over this copilot.
 
         The returned :class:`StreamIngestor` groups a continuous alert
         stream into ``observe_many`` batches automatically (bounded queue,
         max-batch/max-latency flush); see ``examples/streaming_triage.py``.
+        ``clock`` injects an alternative time source (tests pass a
+        step-controlled fake so latency and autoscaling paths run
+        deterministically).
         """
-        return StreamIngestor(self, config or self.config.ingest)
+        return StreamIngestor(self, config or self.config.ingest, clock=clock)
 
     # ---------------------------------------------------------------- diagnose
     def observe(self, alert: Alert) -> DiagnosisReport:
@@ -173,6 +181,8 @@ class RCACopilot:
         self,
         collections: Sequence[CollectionOutcome],
         started: Optional[float] = None,
+        now: Optional[Callable[[], float]] = None,
+        timestamp: Optional[float] = None,
     ) -> List[DiagnosisReport]:
         """Run the batched prediction phase over already-collected incidents.
 
@@ -181,20 +191,29 @@ class RCACopilot:
         worker pool fans parse+collect out per alert — can still share the
         exact prediction/batching/telemetry path.  ``started`` optionally
         carries the batch's true start time (collection included) so the
-        reports' per-incident ``elapsed_seconds`` keeps its meaning.
+        reports' per-incident ``elapsed_seconds`` keeps its meaning; ``now``
+        must then read the same clock ``started`` came from (the stream
+        ingestor passes its injected clock; the default is
+        ``time.perf_counter``, matching :meth:`diagnose_many`).
+        ``timestamp`` stamps the cache/index metric exports — callers on an
+        injected clock pass its wall time so one batch's telemetry lives on
+        a single timeline.
         """
         if not collections:
             return []
+        if now is None:
+            now = time.perf_counter
         if started is None:
-            started = time.perf_counter()
+            started = now()
         incidents = [collection.incident for collection in collections]
         predictions: List[Optional[PredictionOutcome]] = [None] * len(incidents)
         if self._indexed:
             predictions = list(self.prediction.predict_many(incidents))
-        elapsed = (time.perf_counter() - started) / len(incidents)
-        now = time.time()
-        self.prediction.export_cache_metrics(self.hub, timestamp=now)
-        self.prediction.export_index_metrics(self.hub, timestamp=now)
+        elapsed = (now() - started) / len(incidents)
+        if timestamp is None:
+            timestamp = time.time()
+        self.prediction.export_cache_metrics(self.hub, timestamp=timestamp)
+        self.prediction.export_index_metrics(self.hub, timestamp=timestamp)
         return [
             DiagnosisReport(
                 incident=incident,

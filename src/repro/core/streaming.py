@@ -33,6 +33,16 @@ identical whether collection ran serially or on a pool.  A handler raising
 during the collection phase fails only its own alert's future — the rest of
 the batch still predicts, and the pool survives for the next wave.
 
+With :attr:`IngestConfig.autoscale` set, a
+:class:`~repro.core.autoscale.PoolAutoscaler` watches each batch's measured
+pool utilization, queue backlog, and phase split, and resizes the
+collection pool between ``collect_workers_min`` and ``collect_workers_max``
+— always at a batch boundary, so the submission-order fold and report
+parity are untouched.  Every timing path (latency deadlines, worker polls,
+phase walls, autoscaler cooldown) reads the injected
+:class:`~repro.core.clock.Clock`, making the whole control surface
+deterministic under the test harness's fake clock.
+
 OCE feedback can be folded in mid-stream through
 :meth:`StreamIngestor.record_feedback`, which serializes with batch
 processing so the updated index is visible to the very next micro-batch.
@@ -54,13 +64,14 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..incidents import Incident
 from ..monitors import Alert
+from .autoscale import PoolAutoscaler
+from .clock import MONOTONIC_CLOCK, Clock
 from .collect_pool import CollectionPool
 from .config import IngestConfig
 from .errors import IngestQueueFull
@@ -115,10 +126,15 @@ class StreamIngestor:
         self,
         copilot: "RCACopilot",
         config: Optional[IngestConfig] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.copilot = copilot
         self.config = config or getattr(copilot.config, "ingest", None) or IngestConfig()
         self.hub = copilot.hub
+        #: Time source for latency deadlines, phase timings, and the
+        #: autoscaler's cooldown window.  Tests inject a step-controlled
+        #: fake clock so every timing path runs deterministically.
+        self._clock = clock or MONOTONIC_CLOCK
         self._queue: "queue.Queue[Tuple[Alert, Future]]" = queue.Queue(
             maxsize=self.config.queue_capacity
         )
@@ -136,12 +152,26 @@ class StreamIngestor:
         self._ingest_stats = IngestStats()
         #: Collection-phase worker pool (serial when ``collect_workers`` is
         #: None); executors spin up lazily on the first pooled batch and are
-        #: torn down by :meth:`stop`.
+        #: torn down by :meth:`stop`.  With ``config.autoscale`` set, the
+        #: pool starts at ``initial_collect_workers()`` and the autoscaler
+        #: resizes it between micro-batches.
+        initial_workers = self.config.initial_collect_workers()
         self._collect_pool = CollectionPool(
             copilot.collection,
-            workers=self.config.collect_workers,
+            workers=initial_workers,
             backend=self.config.collect_backend,
+            clock=self._clock,
         )
+        self._autoscaler: Optional[PoolAutoscaler] = None
+        if self.config.autoscale is not None:
+            self._autoscaler = PoolAutoscaler(
+                self.config.autoscale,
+                minimum=self.config.collect_workers_min,
+                maximum=self.config.collect_workers_max,
+                initial=initial_workers,
+                max_batch=self.config.max_batch,
+                clock=self._clock,
+            )
 
     # ------------------------------------------------------------------ submit
     def submit(self, alert: Alert) -> "Future[DiagnosisReport]":
@@ -209,7 +239,16 @@ class StreamIngestor:
         """
         self._stopping.set()
         if self._worker is not None:
-            self._worker.join()
+            # Wake-until-joined: a worker parked on a fake clock has no
+            # real timeout to fall out of, and a single wake() can land in
+            # the instant between the worker's stop check and its next
+            # park, where it affects nobody.  Re-issuing the wake on a
+            # short real-time join loop closes that race without the clock
+            # having to remember wakes (no-op wakes are free; on the real
+            # clock the worker's own poll timeout bounds the wait anyway).
+            while self._worker.is_alive():
+                self._clock.wake()
+                self._worker.join(timeout=0.05)
             self._worker = None
         if flush:
             while True:
@@ -225,23 +264,38 @@ class StreamIngestor:
         self.stop()
 
     def _run(self) -> None:
-        """Worker loop: gather a micro-batch, process, repeat."""
+        """Worker loop: gather a micro-batch, process, repeat.
+
+        All waits go through the injected clock: the real clock delegates
+        to the queue's own timed get, a fake clock parks the thread until
+        virtual time is advanced (or :meth:`stop` wakes it), so the
+        latency-deadline path is exactly testable.
+        """
         poll_seconds = min(self.config.max_latency_seconds, 0.05)
         while True:
+            # Never park once the stop signal is up: stop()'s single wake()
+            # is consumed by whichever wait the worker was in, so every
+            # subsequent wait must be guarded or the worker could re-park
+            # forever on a fake clock.  Whatever is still queued is drained
+            # by stop() itself.
+            if self._stopping.is_set():
+                return
             try:
-                first = self._queue.get(timeout=poll_seconds)
+                first = self._clock.wait_queue(self._queue, poll_seconds)
             except queue.Empty:
                 if self._stopping.is_set():
                     return
                 continue
             batch = [first]
-            deadline = time.monotonic() + self.config.max_latency_seconds
+            deadline = self._clock.monotonic() + self.config.max_latency_seconds
             while len(batch) < self.config.max_batch:
-                remaining = deadline - time.monotonic()
+                if self._stopping.is_set():
+                    break  # flush what we hold; stop() drains the rest
+                remaining = deadline - self._clock.monotonic()
                 if remaining <= 0:
                     break
                 try:
-                    batch.append(self._queue.get(timeout=remaining))
+                    batch.append(self._clock.wait_queue(self._queue, remaining))
                 except queue.Empty:
                     break
             reason = "size" if len(batch) >= self.config.max_batch else "latency"
@@ -252,21 +306,28 @@ class StreamIngestor:
         """Synchronously process everything queued right now (manual mode).
 
         Returns the successful reports in submission order; alerts whose
-        collection failed are resolved through their futures only.
+        collection failed are resolved through their futures only.  Batches
+        are dequeued one ``max_batch`` chunk at a time — not snapshotted up
+        front — so the queue depth the autoscaler (and telemetry) sees at
+        each batch boundary reflects the real remaining backlog; the total
+        drained is still bounded by the depth at call time, so a concurrent
+        producer (or a done-callback that resubmits) cannot keep ``flush``
+        from returning.
         """
-        batch: List[Tuple[Alert, Future]] = []
-        while True:
-            try:
-                batch.append(self._queue.get_nowait())
-            except queue.Empty:
-                break
-        if not batch:
-            return []
+        budget = self._queue.qsize()
         reports: List["DiagnosisReport"] = []
-        for start in range(0, len(batch), self.config.max_batch):
-            reports.extend(
-                self._process(batch[start : start + self.config.max_batch], "manual")
-            )
+        while budget > 0:
+            batch: List[Tuple[Alert, Future]] = []
+            while len(batch) < self.config.max_batch and budget > 0:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    budget = 0
+                    break
+                budget -= 1
+            if not batch:
+                break
+            reports.extend(self._process(batch, "manual"))
         return reports
 
     # ----------------------------------------------------------------- process
@@ -296,24 +357,58 @@ class StreamIngestor:
         alerts = [alert for alert, _ in items]
         reports: List["DiagnosisReport"] = []
         with self._lock:
-            collect_started = time.perf_counter()
+            # Batch boundary: the pool is idle, so autoscale resizes are
+            # safe here and nowhere else.  The pre-batch decision reacts to
+            # an already-visible backlog (burst grow); the post-batch
+            # decision below feeds the loop what the batch measured.
+            if self._autoscaler is not None:
+                self._apply_pool_target(
+                    self._autoscaler.before_batch(self._queue.qsize())
+                )
+            collect_started = self._clock.monotonic()
             incident_ids = [
                 self.copilot.collection.next_incident_id() for _ in alerts
             ]
             results = self._collect_pool.run(alerts, incident_ids)
-            collect_seconds = time.perf_counter() - collect_started
+            collect_seconds = self._clock.monotonic() - collect_started
             succeeded = [result for result in results if result.ok]
-            predict_started = time.perf_counter()
+            predict_started = self._clock.monotonic()
             predict_error: Optional[Exception] = None
             try:
                 reports = self.copilot.diagnose_collected(
                     [result.outcome for result in succeeded],
                     started=collect_started,
+                    now=self._clock.monotonic,
+                    timestamp=self._clock.time(),
                 )
             except Exception as exc:  # noqa: BLE001 - failures flow to the futures
                 predict_error = exc
                 reports = []
-            predict_seconds = time.perf_counter() - predict_started
+            predict_seconds = self._clock.monotonic() - predict_started
+            pool_size = self._collect_pool.pool_size
+            # Utilisation counts successful collections only, on every
+            # backend: a task that died in a worker has no observable
+            # elapsed time (its future carries just the exception), so
+            # including serial-side failure timings would make the gauge
+            # diverge between pool shapes.
+            busy_seconds = sum(result.seconds for result in results if result.ok)
+            lanes = pool_size if pool_size else 1
+            utilization = (
+                min(busy_seconds / (lanes * collect_seconds), 1.0)
+                if collect_seconds > 0.0
+                else 0.0
+            )
+            autoscale_metrics: Optional[Dict[str, float]] = None
+            if self._autoscaler is not None:
+                self._apply_pool_target(
+                    self._autoscaler.observe(
+                        utilization=utilization,
+                        queue_depth=self._queue.qsize(),
+                        collect_seconds=collect_seconds,
+                        predict_seconds=predict_seconds,
+                    )
+                )
+                autoscale_metrics = self._autoscaler.stats_dict()
         # Resolve every future only after releasing the ingestion lock:
         # set_result/set_exception run done-callbacks synchronously, and a
         # callback that re-enters the ingestor (record_feedback, submit)
@@ -335,35 +430,43 @@ class StreamIngestor:
             stats.collect_failures += sum(1 for result in results if not result.ok)
             stats.flush_reasons[reason] = stats.flush_reasons.get(reason, 0) + 1
             exported = stats.as_dict()
-        pool_size = self._collect_pool.pool_size
-        # Utilisation counts successful collections only, on every backend:
-        # a task that died in a worker has no observable elapsed time (its
-        # future carries just the exception), so including serial-side
-        # failure timings would make the gauge diverge between pool shapes.
-        busy_seconds = sum(result.seconds for result in results if result.ok)
-        lanes = pool_size if pool_size else 1
-        utilization = (
-            min(busy_seconds / (lanes * collect_seconds), 1.0)
-            if collect_seconds > 0.0
-            else 0.0
-        )
-        self.hub.emit_metrics(
-            {
-                "rcacopilot.ingest.queue_depth": float(self._queue.qsize()),
-                "rcacopilot.ingest.flush_size": float(len(items)),
-                "rcacopilot.ingest.collect_pool_size": float(pool_size),
-                "rcacopilot.ingest.collect_seconds": collect_seconds,
-                "rcacopilot.ingest.predict_seconds": predict_seconds,
-                "rcacopilot.ingest.collect_utilization": utilization,
-                **{
-                    f"rcacopilot.ingest.{suffix}": value
-                    for suffix, value in exported.items()
-                },
+        metrics = {
+            "rcacopilot.ingest.queue_depth": float(self._queue.qsize()),
+            "rcacopilot.ingest.flush_size": float(len(items)),
+            "rcacopilot.ingest.collect_pool_size": float(pool_size),
+            "rcacopilot.ingest.collect_seconds": collect_seconds,
+            "rcacopilot.ingest.predict_seconds": predict_seconds,
+            "rcacopilot.ingest.collect_utilization": utilization,
+            "rcacopilot.ingest.collect_worker_seconds_total": (
+                self._collect_pool.worker_seconds
+            ),
+            **{
+                f"rcacopilot.ingest.{suffix}": value
+                for suffix, value in exported.items()
             },
+        }
+        if autoscale_metrics is not None:
+            metrics.update(
+                {
+                    f"rcacopilot.ingest.autoscale_{suffix}": value
+                    for suffix, value in autoscale_metrics.items()
+                }
+            )
+        self.hub.emit_metrics(
+            metrics,
             machine="stream-ingestor",
-            timestamp=time.time(),
+            timestamp=self._clock.time(),
         )
         return reports
+
+    def _apply_pool_target(self, target: int) -> None:
+        """Resize the collection pool to the autoscaler's target (if changed).
+
+        Callers hold the ingestion lock and sit at a batch boundary, the
+        only point where no collect task can be in flight.
+        """
+        if target != self._collect_pool.workers:
+            self._collect_pool.resize(target)
 
     # ---------------------------------------------------------------- feedback
     def record_feedback(self, incident: Incident, confirmed_category: str) -> None:
@@ -392,8 +495,31 @@ class StreamIngestor:
             )
 
     def stats_dict(self) -> Dict[str, float]:
-        """The counters as a flat metric mapping, snapshotted under the lock."""
-        return self.stats().as_dict()
+        """The counters as a flat metric mapping.
+
+        The :class:`IngestStats` entries are snapshotted under the stats
+        lock exactly as :meth:`stats` does.  With autoscaling enabled, the
+        mapping additionally carries the control loop's ``autoscale_*``
+        entries (current/min/max pool size, utilization EWMA, scale-event
+        counters) — these live here, not in :class:`IngestStats`, because
+        the ingest counters are contractually identical across pool shapes
+        while scale events are by nature specific to the autoscaled run.
+        The autoscale entries are read without the ingestion lock (taking
+        it would block monitoring behind a running batch), so a reader
+        racing a flush may see them mid-update — e.g. a grown pool size
+        whose event counter has not ticked yet; they are exact whenever no
+        batch is in flight.
+        """
+        flat = self.stats().as_dict()
+        if self._autoscaler is not None:
+            for suffix, value in self._autoscaler.stats_dict().items():
+                flat[f"autoscale_{suffix}"] = value
+        return flat
+
+    @property
+    def collect_pool_size(self) -> int:
+        """Current collection pool size (0 = serial collection)."""
+        return self._collect_pool.pool_size
 
     @property
     def queue_depth(self) -> int:

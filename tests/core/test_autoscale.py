@@ -1,0 +1,550 @@
+"""Deterministic tests for the collection-pool autoscaler and its clock harness.
+
+Everything here runs on a step-controlled :class:`FakeClock` — virtual I/O
+is simulated by a classifier that *advances* the clock instead of sleeping,
+so utilization, cooldown windows, and latency deadlines are exact numbers
+and the control loop's behaviour is reproducible bit for bit.  There are no
+real ``time.sleep`` calls anywhere in this module.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import streamtest_utils as stu
+from repro.core import (
+    AutoscalePolicy,
+    CollectionPool,
+    IngestConfig,
+    PoolAutoscaler,
+    RCACopilot,
+)
+
+FakeClock = stu.FakeClock
+
+
+# ------------------------------------------------------------------ FakeClock
+class TestFakeClock:
+    def test_monotonic_advances_only_on_demand(self):
+        clock = FakeClock(start=100.0)
+        assert clock.monotonic() == 100.0
+        clock.advance(2.5)
+        assert clock.monotonic() == 102.5
+        assert clock.time() == 102.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_auto_advance_sleep_jumps_time(self):
+        clock = FakeClock(auto_advance=True)
+        clock.sleep(3.0)
+        assert clock.monotonic() == 3.0
+
+    def test_step_sleep_parks_until_advanced(self):
+        clock = FakeClock()
+        woke = threading.Event()
+
+        def sleeper():
+            clock.sleep(1.0)
+            woke.set()
+
+        thread = threading.Thread(target=sleeper)
+        thread.start()
+        clock.wait_for_sleepers(1)
+        assert not woke.is_set()
+        clock.advance(0.5)
+        assert not woke.wait(timeout=0)  # deadline not reached yet
+        clock.advance(0.5)
+        assert woke.wait(timeout=10.0)
+        thread.join(timeout=10.0)
+
+    def test_wake_without_sleepers_leaves_no_residue(self):
+        """A wake with nobody parked is a pure no-op (stop() re-issues
+        wakes on its join loop instead of the clock remembering them), so
+        a later sleep still parks normally."""
+        clock = FakeClock()
+        clock.wake()
+        woke = threading.Event()
+
+        def sleeper():
+            clock.sleep(1.0)
+            woke.set()
+
+        thread = threading.Thread(target=sleeper)
+        thread.start()
+        clock.wait_for_sleepers(1)
+        assert not woke.is_set()  # the earlier wake was not consumed here
+        clock.advance(1.0)
+        assert woke.wait(timeout=10.0)
+        thread.join(timeout=10.0)
+
+    def test_wake_unparks_current_sleepers(self):
+        clock = FakeClock()
+        woke = threading.Event()
+
+        def sleeper():
+            clock.sleep(1e9)
+            woke.set()
+
+        thread = threading.Thread(target=sleeper)
+        thread.start()
+        clock.wait_for_sleepers(1)
+        clock.wake()
+        assert woke.wait(timeout=10.0)
+        thread.join(timeout=10.0)
+        assert clock.monotonic() == 0.0  # wake moves threads, not time
+
+
+# ------------------------------------------------------------- policy/config
+class TestPolicyValidation:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(high_utilization=0.3, low_utilization=0.5)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(grow_step=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(hysteresis_batches=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(cooldown_seconds=-1.0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(burst_queue_factor=0.0)
+
+    def test_ingest_config_bounds_validated(self):
+        with pytest.raises(ValueError):
+            IngestConfig(collect_workers_min=0)
+        with pytest.raises(ValueError):
+            IngestConfig(collect_workers_min=4, collect_workers_max=2)
+        with pytest.raises(ValueError):
+            IngestConfig(
+                autoscale=AutoscalePolicy(),
+                collect_workers=9,
+                collect_workers_max=8,
+            )
+        config = IngestConfig(autoscale=AutoscalePolicy(), collect_workers_min=2)
+        assert config.initial_collect_workers() == 2
+        assert IngestConfig(collect_workers=3).initial_collect_workers() == 3
+        assert IngestConfig().initial_collect_workers() is None
+
+
+# ------------------------------------------------------------ control logic
+def make_scaler(clock, **overrides):
+    defaults = dict(
+        high_utilization=0.8,
+        low_utilization=0.3,
+        ewma_alpha=1.0,  # no smoothing: the observation IS the signal
+        hysteresis_batches=2,
+        cooldown_seconds=10.0,
+        burst_queue_factor=2.0,
+    )
+    defaults.update(overrides)
+    policy = AutoscalePolicy(**defaults)
+    return PoolAutoscaler(
+        policy, minimum=1, maximum=8, initial=2, max_batch=4, clock=clock
+    )
+
+
+class TestPoolAutoscaler:
+    def test_grow_needs_sustained_high_utilization(self):
+        clock = FakeClock()
+        scaler = make_scaler(clock)
+        assert scaler.observe(utilization=0.9, queue_depth=0) == 2  # streak 1
+        assert scaler.observe(utilization=0.9, queue_depth=0) == 3  # streak 2
+        assert scaler.scale_up_events == 1
+
+    def test_single_high_batch_does_not_grow(self):
+        clock = FakeClock()
+        scaler = make_scaler(clock)
+        scaler.observe(utilization=0.9, queue_depth=0)
+        assert scaler.observe(utilization=0.5, queue_depth=0) == 2  # streak reset
+
+    def test_cooldown_blocks_consecutive_events_until_time_passes(self):
+        clock = FakeClock()
+        scaler = make_scaler(clock)
+        for _ in range(2):
+            scaler.observe(utilization=1.0, queue_depth=0)
+        assert scaler.size == 3
+        # Still saturated, but inside the cooldown window: no event.
+        for _ in range(5):
+            assert scaler.observe(utilization=1.0, queue_depth=0) == 3
+        clock.advance(10.0)
+        for _ in range(2):
+            scaler.observe(utilization=1.0, queue_depth=0)
+        assert scaler.size == 4
+
+    def test_shrink_when_idle_but_never_under_backlog(self):
+        clock = FakeClock()
+        scaler = make_scaler(clock)
+        scaler.observe(utilization=0.0, queue_depth=0)
+        # Second low batch, but the queue holds work: shrink refused.
+        assert scaler.observe(utilization=0.0, queue_depth=5) == 2
+        # Backlog cleared: the (still accumulated) streak shrinks the pool.
+        assert scaler.observe(utilization=0.0, queue_depth=0) == 1
+        assert scaler.scale_down_events == 1
+        # Already at the floor: stays put forever.
+        clock.advance(100.0)
+        for _ in range(4):
+            assert scaler.observe(utilization=0.0, queue_depth=0) == 1
+
+    def test_burst_grow_jumps_to_max_before_the_batch(self):
+        clock = FakeClock()
+        scaler = make_scaler(clock)
+        assert scaler.before_batch(queue_depth=7) == 2  # 7 < 2 * max_batch(4)
+        assert scaler.before_batch(queue_depth=8) == 8  # jump to maximum
+        assert scaler.burst_grow_events == 1
+        assert scaler.scale_up_events == 1
+
+    def test_burst_grow_respects_cooldown(self):
+        clock = FakeClock()
+        scaler = make_scaler(clock)
+        for _ in range(2):
+            scaler.observe(utilization=0.0, queue_depth=0)
+        assert scaler.size == 1
+        assert scaler.before_batch(queue_depth=50) == 1  # cooling down
+        clock.advance(10.0)
+        assert scaler.before_batch(queue_depth=50) == 8
+
+    def test_no_grow_when_the_batch_is_predict_bound(self):
+        clock = FakeClock()
+        scaler = make_scaler(clock)
+        for _ in range(4):
+            size = scaler.observe(
+                utilization=0.9,
+                queue_depth=0,
+                collect_seconds=0.1,
+                predict_seconds=0.9,
+            )
+        assert size == 2  # more collect workers cannot help this workload
+
+    def test_ewma_smooths_single_spikes(self):
+        clock = FakeClock()
+        scaler = make_scaler(clock, ewma_alpha=0.2, hysteresis_batches=1)
+        # One saturated batch after a mid-band history: the EWMA stays in
+        # the dead band, so even with hysteresis 1 nothing scales.
+        scaler.observe(utilization=0.5, queue_depth=0)
+        assert scaler.observe(utilization=1.0, queue_depth=0) == 2
+        assert scaler.ewma == pytest.approx(0.6)
+
+    def test_stats_dict_shape(self):
+        scaler = make_scaler(FakeClock())
+        stats = scaler.stats_dict()
+        assert stats["pool_size"] == 2.0
+        assert stats["pool_min"] == 1.0
+        assert stats["pool_max"] == 8.0
+        assert stats["scale_up_total"] == 0.0
+
+
+#: One property-test step: (utilization, queue depth, clock advance).
+TRACE_STEP = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.integers(min_value=0, max_value=64),
+    st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+)
+
+
+class TestAutoscalerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        trace=st.lists(TRACE_STEP, min_size=1, max_size=40),
+        minimum=st.integers(min_value=1, max_value=3),
+        span=st.integers(min_value=0, max_value=6),
+        cooldown=st.sampled_from([0.0, 5.0, 60.0]),
+        hysteresis=st.integers(min_value=1, max_value=3),
+    )
+    def test_decisions_deterministic_bounded_and_cooldown_spaced(
+        self, trace, minimum, span, cooldown, hysteresis
+    ):
+        maximum = minimum + span
+        policy = AutoscalePolicy(
+            cooldown_seconds=cooldown,
+            hysteresis_batches=hysteresis,
+            ewma_alpha=0.5,
+        )
+
+        def replay():
+            clock = FakeClock()
+            scaler = PoolAutoscaler(
+                policy, minimum=minimum, maximum=maximum, max_batch=4, clock=clock
+            )
+            sizes = []
+            events = []
+            last = scaler.size
+            for utilization, queue_depth, dt in trace:
+                clock.advance(dt)
+                pre = scaler.before_batch(queue_depth)
+                post = scaler.observe(utilization=utilization, queue_depth=queue_depth)
+                sizes.append((pre, post))
+                for size in (pre, post):
+                    if size != last:
+                        events.append((clock.monotonic(), size))
+                        last = size
+            return sizes, events
+
+        sizes, events = replay()
+        sizes_again, _ = replay()
+        # Deterministic: an identical trace replays to identical decisions.
+        assert sizes == sizes_again
+        # Bounded: every decision stays inside [minimum, maximum].
+        for pre, post in sizes:
+            assert minimum <= pre <= maximum
+            assert minimum <= post <= maximum
+        # Cooldown: consecutive scale events are spaced by >= cooldown.
+        for (t1, _), (t2, _) in zip(events, events[1:]):
+            assert t2 - t1 >= cooldown - 1e-9
+
+
+# ---------------------------------------------------------- pool resize unit
+class TestCollectionPoolResize:
+    def test_serial_pool_refuses_resize(self):
+        copilot = stu.build_stream_copilot(with_history=False)
+        pool = CollectionPool(copilot.collection, workers=None)
+        with pytest.raises(RuntimeError):
+            pool.resize(2)
+
+    def test_thread_grow_is_in_place_and_shrink_retires(self):
+        copilot = stu.build_stream_copilot(with_history=False)
+        with CollectionPool(copilot.collection, workers=2) as pool:
+            alerts = [stu.make_stream_alert(i, alert_type=stu.IDLE_TYPE) for i in range(3)]
+            ids = [copilot.collection.next_incident_id() for _ in alerts]
+            assert all(result.ok for result in pool.run(alerts, ids))
+            live = pool._executor
+            assert live is not None
+            pool.resize(4)  # grow: same executor, raised ceiling
+            assert pool._executor is live
+            assert pool.workers == 4
+            pool.resize(1)  # shrink: executor retired, rebuilt lazily
+            assert pool._executor is None
+            assert pool._retired == [live]
+            ids = [copilot.collection.next_incident_id() for _ in alerts]
+            assert all(result.ok for result in pool.run(alerts, ids))
+            assert pool.resize_events == 2
+        assert pool._retired == []  # close() joined and dropped them
+
+    def test_worker_seconds_accounts_capacity_not_usage(self):
+        clock = FakeClock()
+        copilot = stu.build_stream_copilot(with_history=False)
+        stu.VIRTUAL_IO["clock"] = clock
+        stu.VIRTUAL_IO["seconds"] = 0.05
+        try:
+            with CollectionPool(copilot.collection, workers=2, clock=clock) as pool:
+                alerts = [stu.make_stream_alert(0, alert_type=stu.BUSY_TYPE)]
+                ids = [copilot.collection.next_incident_id()]
+                results = pool.run(alerts, ids)
+                assert all(result.ok for result in results)
+                # One 0.05s virtual collect on a 2-lane pool: 2 x 0.05
+                # worker-seconds paid for 0.05 used.
+                assert pool.worker_seconds == pytest.approx(0.10)
+                assert results[0].seconds == pytest.approx(0.05)
+        finally:
+            stu.VIRTUAL_IO["clock"] = None
+
+
+# ------------------------------------------------- end-to-end control loop
+#: The autoscaled configuration under test, and the static pool sizes whose
+#: reports it must reproduce exactly.
+STATIC_SIZES = (1, 2, 3)
+
+
+def control_loop_config(**overrides) -> IngestConfig:
+    defaults = dict(
+        max_batch=1,  # one collect task in flight at a time: exact timings
+        max_latency_seconds=5.0,
+        collect_workers_min=1,
+        collect_workers_max=3,
+        autoscale=AutoscalePolicy(
+            high_utilization=0.45,
+            low_utilization=0.2,
+            ewma_alpha=1.0,
+            hysteresis_batches=2,
+            cooldown_seconds=0.0,
+            burst_queue_factor=None,
+        ),
+    )
+    defaults.update(overrides)
+    return IngestConfig(**defaults)
+
+
+@pytest.fixture()
+def virtual_io_clock():
+    clock = FakeClock()
+    stu.VIRTUAL_IO["clock"] = clock
+    stu.VIRTUAL_IO["seconds"] = 0.05
+    yield clock
+    stu.VIRTUAL_IO["clock"] = None
+
+
+@pytest.fixture(scope="module")
+def base_copilot() -> RCACopilot:
+    return stu.build_stream_copilot(strict=True)
+
+
+class TestControlLoopEndToEnd:
+    def test_pool_grows_on_burst_and_shrinks_back_when_idle(
+        self, base_copilot, virtual_io_clock
+    ):
+        """The acceptance trajectory, exact under the fake clock.
+
+        Sustained collect-bound batches measure utilization 1/W (one 0.05s
+        virtual-I/O task per batch on W lanes), so with thresholds at
+        0.45/0.2 the pool steps 1 -> 2 -> 3 and parks; idle batches measure
+        0.0 and walk it back down to the floor.
+        """
+        copilot = copy.deepcopy(base_copilot)
+        ingestor = copilot.stream(control_loop_config(), clock=virtual_io_clock)
+        busy = lambda i: stu.make_stream_alert(i, alert_type=stu.BUSY_TYPE)
+        idle = lambda i: stu.make_stream_alert(i, alert_type=stu.IDLE_TYPE)
+        try:
+            assert ingestor.collect_pool_size == 1
+            # Burst: utilization 1.0 at W=1; two batches satisfy hysteresis.
+            ingestor.submit_many([busy(0), busy(1)])
+            ingestor.flush()
+            assert ingestor.collect_pool_size == 2
+            # Utilization 0.5 >= 0.45 at W=2: two more batches grow again.
+            ingestor.submit_many([busy(2), busy(3)])
+            ingestor.flush()
+            assert ingestor.collect_pool_size == 3
+            # 1/3 < 0.45 at the ceiling: saturated burst holds steady.
+            ingestor.submit_many([busy(4), busy(5), busy(6)])
+            ingestor.flush()
+            assert ingestor.collect_pool_size == 3
+            # Idle traffic: utilization is exactly 0.0.  Shrink waits for an
+            # empty queue, so a 4-alert flush shrinks once (last batch) ...
+            ingestor.submit_many([idle(7), idle(8), idle(9), idle(10)])
+            ingestor.flush()
+            assert ingestor.collect_pool_size == 2
+            # ... and (streaks reset on each event) two more idle batches
+            # walk it back to the floor.
+            ingestor.submit_many([idle(11), idle(12)])
+            ingestor.flush()
+            assert ingestor.collect_pool_size == 1
+            flat = ingestor.stats_dict()
+            assert flat["autoscale_pool_size"] == 1.0
+            assert flat["autoscale_scale_up_total"] == 2.0
+            assert flat["autoscale_scale_down_total"] == 2.0
+            assert flat["autoscale_burst_grow_total"] == 0.0
+            # The control loop's gauges reached the hub.
+            names = copilot.hub.metrics.metric_names()
+            for suffix in (
+                "autoscale_pool_size",
+                "autoscale_utilization_ewma",
+                "autoscale_scale_up_total",
+                "autoscale_scale_down_total",
+                "collect_worker_seconds_total",
+            ):
+                assert f"rcacopilot.ingest.{suffix}" in names
+            assert (
+                copilot.hub.metrics.latest(
+                    "rcacopilot.ingest.autoscale_pool_size", "stream-ingestor"
+                )
+                == 1.0
+            )
+        finally:
+            ingestor.stop()
+
+    def test_burst_grow_reacts_to_backlog_before_the_batch(
+        self, base_copilot, virtual_io_clock
+    ):
+        copilot = copy.deepcopy(base_copilot)
+        config = control_loop_config(
+            max_batch=2,
+            autoscale=AutoscalePolicy(
+                high_utilization=0.45,
+                low_utilization=0.2,
+                ewma_alpha=1.0,
+                hysteresis_batches=2,
+                cooldown_seconds=0.0,
+                burst_queue_factor=2.0,
+            ),
+        )
+        ingestor = copilot.stream(config, clock=virtual_io_clock)
+        try:
+            # 10 queued alerts: the first batch dequeues 2, leaving a
+            # backlog of 8 >= 2 * max_batch * 2 -- the pre-batch check jumps
+            # straight to the ceiling before collection starts.
+            ingestor.submit_many(
+                [stu.make_stream_alert(i, alert_type=stu.BUSY_TYPE) for i in range(10)]
+            )
+            ingestor.flush()
+            assert ingestor.collect_pool_size == 3
+            flat = ingestor.stats_dict()
+            assert flat["autoscale_burst_grow_total"] == 1.0
+        finally:
+            ingestor.stop()
+
+    def test_reports_and_stats_match_every_static_pool_size(self, base_copilot):
+        """Serial-vs-autoscaled parity: satellite requirement.
+
+        The same alert stream (busy bursts, idle stretches, planted flaky
+        failures) is replayed against static pools of every size in the
+        autoscaler's range and against the autoscaled pool; reports,
+        failures, post-feedback index state, and IngestStats must be
+        value-identical everywhere.
+        """
+        spec = (
+            [("busy", False)] * 4
+            + [("flaky", True), ("idle", False)] * 2
+            + [("busy", False)] * 3
+            + [("idle", False)] * 4
+        )
+        type_map = {
+            "busy": stu.BUSY_TYPE,
+            "idle": stu.IDLE_TYPE,
+            "flaky": stu.FLAKY_TYPE,
+        }
+
+        def make_alerts():
+            return [
+                stu.make_stream_alert(i, alert_type=type_map[kind], flaky=flaky)
+                for i, (kind, flaky) in enumerate(spec)
+            ]
+
+        def run_variant(workers, autoscaled):
+            clock = FakeClock()
+            stu.VIRTUAL_IO["clock"] = clock
+            stu.VIRTUAL_IO["seconds"] = 0.05
+            try:
+                copilot = copy.deepcopy(base_copilot)
+                if autoscaled:
+                    config = control_loop_config()
+                else:
+                    config = control_loop_config(
+                        autoscale=None, collect_workers=workers
+                    )
+                ingestor = copilot.stream(config, clock=clock)
+                try:
+                    futures1 = ingestor.submit_many(make_alerts())
+                    ingestor.flush()
+                    reports1, failures1 = stu.drain_futures(futures1)
+                    fed_ids = []
+                    for position in sorted(reports1):
+                        incident = futures1[position].result().incident
+                        ingestor.record_feedback(
+                            incident, f"ConfirmedCategory{position % 3}"
+                        )
+                        fed_ids.append(incident.incident_id)
+                    futures2 = ingestor.submit_many(make_alerts())
+                    ingestor.flush()
+                    reports2, failures2 = stu.drain_futures(futures2)
+                    return {
+                        "reports1": reports1,
+                        "failures1": failures1,
+                        "reports2": reports2,
+                        "failures2": failures2,
+                        "index_state": stu.index_state(copilot, fed_ids),
+                        "stats": ingestor.stats(),
+                    }
+                finally:
+                    ingestor.stop()
+            finally:
+                stu.VIRTUAL_IO["clock"] = None
+
+        baseline = run_variant(workers=1, autoscaled=False)
+        for workers in STATIC_SIZES[1:]:
+            assert run_variant(workers=workers, autoscaled=False) == baseline
+        autoscaled = run_variant(workers=None, autoscaled=True)
+        assert autoscaled == baseline

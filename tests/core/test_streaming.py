@@ -14,6 +14,7 @@ import copy
 
 import pytest
 
+import streamtest_utils as stu
 from repro.cloudsim import TransportService
 from repro.core import (
     IndexConfig,
@@ -106,15 +107,51 @@ class TestBackgroundWorker:
         assert ingestor.stats().flush_reasons["size"] >= 1
 
     def test_latency_triggered_flush(self, stream_service, alert_feed):
+        """The latency deadline drives the flush — in virtual time.
+
+        The worker picks the queued alert up instantly, then parks in the
+        latency window's virtual wait; advancing the fake clock past
+        ``max_latency_seconds`` is what flushes the undersized batch.  No
+        real waiting happens anywhere.
+        """
         copilot = build_copilot(stream_service)
+        clock = stu.FakeClock()
         ingestor = copilot.stream(
-            IngestConfig(max_batch=1000, max_latency_seconds=0.05)
-        ).start()
+            IngestConfig(max_batch=1000, max_latency_seconds=0.05), clock=clock
+        )
         try:
             future = ingestor.submit(alert_feed[0])
+            ingestor.start()
+            # The worker holds a 1-alert batch and is parked in the latency
+            # window; until the clock moves, nothing flushes.
+            clock.wait_for_sleepers(1)
+            assert not future.done()
+            clock.advance(0.05)
             report = future.result(timeout=30.0)
             assert report.predicted_label
             assert ingestor.stats().flush_reasons["latency"] >= 1
+        finally:
+            ingestor.stop()
+
+    def test_latency_deadline_does_not_flush_early(self, stream_service, alert_feed):
+        """Advancing to just short of the deadline keeps the batch open."""
+        copilot = build_copilot(stream_service)
+        clock = stu.FakeClock()
+        ingestor = copilot.stream(
+            IngestConfig(max_batch=1000, max_latency_seconds=0.05), clock=clock
+        )
+        try:
+            future = ingestor.submit(alert_feed[0])
+            ingestor.start()
+            clock.wait_for_sleepers(1)
+            clock.advance(0.04)  # 0.01 short of the deadline
+            clock.wait_for_sleepers(1)  # still parked in the same window
+            assert not future.done()
+            clock.advance(0.01)
+            assert future.result(timeout=30.0).predicted_label
+            stats = ingestor.stats()
+            assert stats.flush_reasons["latency"] == 1
+            assert stats.last_flush_size == 1
         finally:
             ingestor.stop()
 
@@ -133,6 +170,29 @@ class TestBackgroundWorker:
         follow_up = ingestor.submit(alert_feed[2])
         ingestor.flush()
         assert follow_up.result(timeout=1.0).predicted_label
+
+    def test_stop_while_parked_in_latency_window_terminates(
+        self, stream_service, alert_feed
+    ):
+        """Regression: stop() must unpark a worker holding a partial batch.
+
+        With the worker parked in the *mid-batch* latency window (not the
+        outer idle poll), stop()'s single wake is consumed exiting that
+        window — the worker must then observe the stop signal before
+        re-parking anywhere, or join() never returns under a fake clock.
+        """
+        copilot = build_copilot(stream_service)
+        clock = stu.FakeClock()
+        ingestor = copilot.stream(
+            IngestConfig(max_batch=1000, max_latency_seconds=60.0), clock=clock
+        )
+        future = ingestor.submit(alert_feed[0])
+        ingestor.start()
+        clock.wait_for_sleepers(1)  # parked in the 60s (virtual) window
+        ingestor.stop()  # deadlocks here without the stop-signal guards
+        assert future.done()
+        assert future.result(timeout=0).predicted_label
+        assert ingestor.stats().processed == 1
 
     def test_stop_flushes_remainder(self, stream_service, alert_feed):
         copilot = build_copilot(stream_service)

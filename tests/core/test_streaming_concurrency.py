@@ -21,7 +21,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 import streamtest_utils as stu
-from repro.core import CollectionError, IngestConfig, RCACopilot
+from repro.core import AutoscalePolicy, CollectionError, IngestConfig, RCACopilot
 from repro.handlers import HandlerRegistry
 
 
@@ -258,6 +258,91 @@ class TestStopDrain:
         assert late.result(timeout=0).incident.incident_id
         stats = ingestor.stats()
         assert stats.processed == stats.submitted == 1
+
+    def test_stop_with_pending_resize_strands_nothing_and_leaks_no_threads(self):
+        """Regression: stop() while a scale event left the pool executor-less.
+
+        A shrink retires the executor and defers the rebuild to the next
+        wave; alerts queued behind that pending rebuild must still be
+        drained by stop(), and close() must join the retired executor so no
+        collection worker thread survives the ingestor.
+        """
+        clock = stu.FakeClock()
+        config = IngestConfig(
+            max_batch=2,
+            max_latency_seconds=5.0,
+            collect_workers=2,
+            collect_workers_min=1,
+            collect_workers_max=4,
+            autoscale=AutoscalePolicy(
+                high_utilization=0.9,
+                low_utilization=0.5,
+                ewma_alpha=1.0,
+                hysteresis_batches=1,
+                cooldown_seconds=0.0,
+                burst_queue_factor=None,
+            ),
+        )
+        ingestor = cheap_copilot().stream(config, clock=clock)
+        # Two idle batches, utilization exactly 0.0 under the fake clock:
+        # the first accumulates the low streak (shrink refused, backlog),
+        # the second shrinks 2 -> 1, retiring the thread executor with the
+        # rebuild deferred to the next wave.
+        warm = ingestor.submit_many([stu.make_stream_alert(i) for i in range(4)])
+        ingestor.flush()
+        assert all(f.done() for f in warm)
+        pool = ingestor._collect_pool
+        assert pool.workers == 1  # shrink happened
+        assert pool._executor is None  # ...and the rebuild is still pending
+        assert pool._retired  # the old executor is awaiting its join
+        # Queue more alerts behind the pending rebuild, then stop: the
+        # drain must rebuild the pool, process everything, and close() must
+        # leave zero collection threads behind.
+        late = ingestor.submit_many([stu.make_stream_alert(10 + i) for i in range(3)])
+        ingestor.stop()
+        assert all(f.done() for f in late)
+        assert all(f.result(timeout=0).incident.incident_id for f in late)
+        stats = ingestor.stats()
+        assert stats.processed == stats.submitted == 7
+        assert pool._executor is None and pool._retired == []
+        assert not [
+            t for t in threading.enumerate() if t.name.startswith("rcacopilot-collect")
+        ]
+
+    def test_stop_races_autoscaled_background_worker(self):
+        """stop() racing live resizes must neither strand alerts nor leak.
+
+        The background worker flushes micro-batches whose every boundary
+        may resize the pool (aggressive policy, zero cooldown); stopping
+        mid-stream exercises the drain against whatever resize state the
+        race produced.  Nondeterministic by design — the invariants must
+        hold for every interleaving.
+        """
+        config = IngestConfig(
+            max_batch=4,
+            max_latency_seconds=0.005,
+            collect_workers=2,
+            collect_workers_min=1,
+            collect_workers_max=4,
+            autoscale=AutoscalePolicy(
+                high_utilization=0.6,
+                low_utilization=0.5,
+                ewma_alpha=1.0,
+                hysteresis_batches=1,
+                cooldown_seconds=0.0,
+                burst_queue_factor=1.5,
+            ),
+        )
+        ingestor = cheap_copilot().stream(config).start()
+        futures = ingestor.submit_many([stu.make_stream_alert(i) for i in range(40)])
+        ingestor.stop()  # races the worker mid-batch and mid-resize
+        assert all(f.done() for f in futures)
+        assert all(f.result(timeout=0) is not None for f in futures)
+        stats = ingestor.stats()
+        assert stats.processed == stats.submitted == 40
+        assert not [
+            t for t in threading.enumerate() if t.name.startswith("rcacopilot-collect")
+        ]
 
     def test_stop_races_concurrent_producer_without_losing_alerts(self):
         total = 40
