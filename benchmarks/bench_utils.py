@@ -12,12 +12,22 @@ def write_results(filename: str, payload: dict) -> str:
     Files land next to the repo root by default so the CI benchmark smoke
     job can archive ``BENCH_*.json`` artifacts; set ``BENCH_OUTPUT_DIR``
     to redirect them.
+
+    The write is atomic (temp file + fsync + rename): two profiles of the
+    same benchmark merge via :func:`read_results` + ``write_results``, and
+    an interrupted run — CI timeout, OOM kill mid-dump — must leave either
+    the previous complete artifact or the new one, never a truncated JSON
+    that poisons the trend report.
     """
     directory = os.environ.get("BENCH_OUTPUT_DIR", ".")
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, filename)
-    with open(path, "w", encoding="utf-8") as handle:
+    temp_path = path + ".tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, path)
     return path
 
 

@@ -43,6 +43,16 @@ def pytest_addoption(parser):
             "the same speedup assertion"
         ),
     )
+    parser.addoption(
+        "--process",
+        action="store_true",
+        default=False,
+        help=(
+            "run the shared-memory process-scoring retrieval profile "
+            "(bench_retrieval_sharded.py): parity, speedup and the "
+            "per-worker incremental-RSS memory gate"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
@@ -57,6 +67,12 @@ def quick_mode(request):
 def collect_bound_soak(request):
     """True when the collect-bound ingest profile should run at soak scale."""
     return bool(request.config.getoption("--collect-bound", default=False))
+
+
+@pytest.fixture(scope="session")
+def process_profile(request):
+    """True when the process-scoring retrieval profile should run."""
+    return bool(request.config.getoption("--process", default=False))
 
 
 def corpus_parameters():

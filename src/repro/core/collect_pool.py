@@ -51,6 +51,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..handlers import HandlerCache, HandlerRegistry, handler_to_dict
 from ..incidents import Incident
 from ..monitors import Alert
+from ..vectordb.shardmem import BlobSpec, SharedBlob
 from .clock import MONOTONIC_CLOCK, Clock
 from .collection import CollectionOutcome, CollectionStage
 
@@ -102,6 +103,20 @@ def _init_collect_worker(hub, config) -> None:
     _WORKER_STAGE = CollectionStage(HandlerRegistry(), hub, config)
 
 
+def _init_collect_worker_from_blob(spec: BlobSpec) -> None:
+    """Initializer shipping only a shared-memory address, not the hub.
+
+    The parent pickles ``(hub, config)`` into a :class:`SharedBlob` once
+    per pool lifetime; every worker — including workers of executors
+    rebuilt after a crash or a resize — attaches the segment by name and
+    unpickles from the mapped buffer.  Large telemetry hubs therefore
+    cross the executor plumbing as a ~100-byte spec instead of a fresh
+    pickle per worker per rebuild.
+    """
+    hub, config = SharedBlob.read(spec)
+    _init_collect_worker(hub, config)
+
+
 def _collect_in_worker(
     alert: Alert, incident_id: str, handler_doc: Optional[Dict[str, Any]]
 ) -> Tuple[Incident, CollectionOutcome, float]:
@@ -145,6 +160,10 @@ class CollectionPool:
         #: boundary (see :func:`_collect_in_worker`).
         self.clock = clock or MONOTONIC_CLOCK
         self._executor: Optional[Executor] = None
+        #: Shared-memory snapshot of (hub, config) for process workers:
+        #: created on the first process executor, reused by every rebuild
+        #: (crash recovery, resize), destroyed by :meth:`close`.
+        self._hub_blob: Optional[SharedBlob] = None
         #: Executors retired by :meth:`resize`; their threads exit on their
         #: own, and :meth:`close` joins them so a stopped ingestor provably
         #: leaks nothing.
@@ -340,11 +359,15 @@ class CollectionPool:
                         "method, which this platform does not provide; use "
                         "the thread backend instead"
                     ) from exc
+                if self._hub_blob is None:
+                    self._hub_blob = SharedBlob.create(
+                        (self.stage.hub, self.stage.config)
+                    )
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.workers,
                     mp_context=context,
-                    initializer=_init_collect_worker,
-                    initargs=(self.stage.hub, self.stage.config),
+                    initializer=_init_collect_worker_from_blob,
+                    initargs=(self._hub_blob.spec,),
                 )
         return self._executor
 
@@ -366,6 +389,9 @@ class CollectionPool:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._hub_blob is not None:
+            self._hub_blob.destroy()
+            self._hub_blob = None
         self._prune_retired()
 
     def _prune_retired(self) -> None:

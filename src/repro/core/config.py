@@ -106,6 +106,16 @@ class IndexConfig:
     #: (sharded backend only); None uses :class:`CompactionPolicy` defaults
     #: (compaction available via ``compact()`` but not auto-triggered).
     compaction: Optional[CompactionPolicy] = None
+    #: How a scan wave's shards are scored (sharded backend only):
+    #: ``thread`` (the default) runs the pool in-process; ``process`` pins
+    #: shard payloads in a shared-memory arena and scores on forked workers
+    #: that attach by name — vectors never cross the process boundary.
+    #: Results are bit-identical either way.
+    scoring_backend: str = "thread"
+    #: Screen shard rows with an int8 quantized dot-product bound before
+    #: exact float64 re-scoring (sharded backend only).  Selected
+    #: neighbours are identical to the pure-float path.
+    quantized_prefilter: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in ("flat", "sharded"):
@@ -116,6 +126,11 @@ class IndexConfig:
             raise ValueError("window_days must be positive")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be positive (or None for auto)")
+        if self.scoring_backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown scoring backend: {self.scoring_backend!r} "
+                "(expected 'thread' or 'process')"
+            )
 
 
 @dataclass

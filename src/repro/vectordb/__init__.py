@@ -5,8 +5,11 @@ single-matrix index (:class:`FlatVectorIndex`) and the time-window sharded
 index (:class:`ShardedVectorIndex`) return identical neighbours; the sharded
 layout additionally prunes temporally irrelevant shards with an exact score
 bound, scores a scan wave's eligible shards on a worker pool
-(``max_workers``), self-compacts skewed layouts (:class:`CompactionPolicy`)
-and persists shards independently.
+(``max_workers``, threads or shared-memory processes via
+``scoring_backend``), optionally screens rows with an int8
+quantize-then-exact-rerank prefilter (``quantized_prefilter``),
+self-compacts skewed layouts (:class:`CompactionPolicy`) and persists as a
+single mmap-able arena (:mod:`~repro.vectordb.shardmem`).
 """
 
 from .index import (
@@ -18,9 +21,18 @@ from .index import (
 from .knn import NearestNeighborSearch, Neighbor, select_complete_order
 from .sharded import (
     DEFAULT_WINDOW_DAYS,
+    SCORING_BACKENDS,
     CompactionPolicy,
     ShardedVectorIndex,
     time_bucket,
+)
+from .shardmem import (
+    ArenaSpec,
+    BlobSpec,
+    ShardArena,
+    SharedBlob,
+    quantize_rows,
+    rss_anon_kb,
 )
 from .similarity import (
     DEFAULT_ALPHA,
@@ -41,9 +53,16 @@ __all__ = [
     "Neighbor",
     "select_complete_order",
     "DEFAULT_WINDOW_DAYS",
+    "SCORING_BACKENDS",
     "CompactionPolicy",
     "ShardedVectorIndex",
     "time_bucket",
+    "ArenaSpec",
+    "BlobSpec",
+    "ShardArena",
+    "SharedBlob",
+    "quantize_rows",
+    "rss_anon_kb",
     "DEFAULT_ALPHA",
     "DEFAULT_K",
     "SimilarityConfig",

@@ -27,24 +27,48 @@ breaks, which use the global insertion sequence exactly like the flat scan.
 With ``alpha == 0`` the bound is 1.0 and nothing is ever pruned (correct:
 without decay every era of the history matters equally).
 
-Eligible shards within one scan *wave* can be scored concurrently on a
-thread pool (``max_workers``): numpy releases the GIL inside the BLAS
-matrix product, so per-shard scoring and candidate extraction run in
-workers while every pool/state mutation stays on the calling thread,
-folded in the same deterministic order as the sequential path.  Prune
-decisions are taken against the pool state as of wave start in both modes,
-so parallel and sequential scans visit the *same* shard set and return
+Eligible shards within one scan *wave* can be scored concurrently
+(``max_workers``).  Two scoring backends share one extraction code path:
+
+* ``scoring_backend="thread"`` — numpy releases the GIL inside the BLAS
+  matrix product, so per-shard scoring runs on a thread pool;
+* ``scoring_backend="process"`` — shard payloads live in one shared-memory
+  arena (:mod:`~repro.vectordb.shardmem`); workers attach by name and a
+  task ships only (shard key, query block, wave-start pool floors), never
+  vectors, so scoring sidesteps the GIL entirely with per-worker memory
+  bounded by scoring temporaries instead of index size.
+
+Either way every pool/state mutation stays on the calling thread, folded
+in the same deterministic order as the sequential path.  Prune decisions
+are taken against the pool state as of wave start in all modes, so
+parallel and sequential scans visit the *same* shard set and return
 identical neighbours and identical :meth:`ShardedVectorIndex.stats`.
+
+``quantized_prefilter=True`` inserts an int8 scan-then-exact-rerank stage
+below the shard-level pruning: each scanned shard is first scored against
+its int8-quantized copy with a conservative error bound, rows whose score
+*upper bound* clears the wave-start pool floor (and the per-category
+retention rules) survive, and only the survivors are re-scored in float64.
+Dropped rows provably cannot enter the candidate pool or the per-category
+argmaxes, so the *selected neighbours* — including tie breaks — match the
+pure-float path; reported scores agree to BLAS shape-dependent rounding
+of the identical float64 formula (bit-identical when the dot products are
+exactly representable, e.g. integer-valued vectors at any power-of-two
+scale; within an ulp otherwise).
 
 Shards self-compact: :meth:`ShardedVectorIndex.compact` merges adjacent
 cold shards below a size floor and splits hot shards above a ceiling
 (:class:`CompactionPolicy`), so the scanned-shard ratio stays bounded as a
-skewed history ages.  Compaction re-keys shards but never reorders entries
-against the global insertion sequence, so search results are unchanged.
+skewed history ages; ``max_rewrite_shards`` caps how many source shards a
+single pass may rewrite, spreading the work across insert waves.
+Compaction re-keys shards but never reorders entries against the global
+insertion sequence, so search results are unchanged.
 
-Shards persist independently: :meth:`ShardedVectorIndex.save` writes one
-``.npz`` per shard plus a JSON manifest, so a deployment can load, ship or
-back up time ranges separately.
+Persistence is manifest v3 by default: every shard's scoring payload lives
+in one aligned ``arena.bin`` that :meth:`ShardedVectorIndex.load` maps
+with ``np.memmap`` semantics — a shard's vector pages fault in only when a
+query actually scans it.  ``save(path, version=2)`` still writes the
+legacy one-``.npz``-per-shard layout.
 """
 
 from __future__ import annotations
@@ -52,21 +76,30 @@ from __future__ import annotations
 import bisect
 import json
 import math
+import multiprocessing
 import os
 from collections import Counter
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from . import shardmem
 from .index import SHARDED_MANIFEST
-from .knn import NearestNeighborSearch, Neighbor, select_complete_order
+from .knn import Neighbor, select_complete_order
+from .shardmem import ArenaSpec, BlockSpec, ShardArena, quantize_rows
 from .similarity import SimilarityConfig
 from .store import VectorEntry, VectorStore
 
 #: Default shard width in days.
 DEFAULT_WINDOW_DAYS = 30.0
+
+#: Scoring backends a scan wave may fan out on.
+SCORING_BACKENDS = ("thread", "process")
+
+#: Name of the file-backed arena inside a manifest-v3 index directory.
+ARENA_FILENAME = "arena.bin"
 
 
 def time_bucket(day: float, window_days: float) -> int:
@@ -91,6 +124,13 @@ class CompactionPolicy:
     With ``auto`` enabled, :meth:`ShardedVectorIndex.add_many` triggers
     :meth:`ShardedVectorIndex.compact` after every ``check_every`` inserted
     entries; compaction never changes search results, only the layout.
+
+    ``max_rewrite_shards`` bounds how many *source* shards one pass may
+    rewrite (a split costs its one source, a merge costs the run length).
+    Deferred work is reported and — under ``auto`` — re-primed so the next
+    insert wave continues where this one stopped, keeping per-wave
+    compaction latency flat instead of rewriting an arbitrarily large
+    backlog at once.
     """
 
     #: Merge adjacent shards smaller than this (0 disables merging).
@@ -101,6 +141,8 @@ class CompactionPolicy:
     auto: bool = False
     #: Auto-trigger cadence, counted in inserted entries.
     check_every: int = 4096
+    #: Most source shards one compact() pass may rewrite (None: unlimited).
+    max_rewrite_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.min_entries < 0:
@@ -114,6 +156,563 @@ class CompactionPolicy:
             )
         if self.check_every <= 0:
             raise ValueError("check_every must be positive")
+        if self.max_rewrite_shards is not None and self.max_rewrite_shards < 1:
+            raise ValueError(
+                "max_rewrite_shards must be positive (or None for unlimited)"
+            )
+
+
+class _ShardData:
+    """One shard's immutable scoring payload: plain arrays, no index state.
+
+    The hand-off unit between the index and the (thread or process)
+    extraction workers: everything scoring needs, whether the arrays are
+    views into a live :class:`~repro.vectordb.store.VectorStore` buffer
+    (in-process path) or into a mapped shared-memory arena (process
+    workers, mmap'd v3 loads).  The int8 quantized copy is carried along
+    when the arena provides it and computed lazily otherwise.
+    """
+
+    __slots__ = (
+        "key", "total", "matrix", "days", "sq_norms", "seqs", "codes",
+        "_q8", "_qscale", "_ql1", "_groups",
+    )
+
+    def __init__(
+        self,
+        key: int,
+        matrix: np.ndarray,
+        days: np.ndarray,
+        sq_norms: np.ndarray,
+        seqs: np.ndarray,
+        codes: np.ndarray,
+        q8: Optional[np.ndarray] = None,
+        qscale: Optional[np.ndarray] = None,
+        ql1: Optional[np.ndarray] = None,
+    ) -> None:
+        self.key = key
+        self.total = matrix.shape[0]
+        self.matrix = matrix
+        self.days = days
+        self.sq_norms = sq_norms
+        self.seqs = seqs
+        self.codes = codes
+        self._q8 = q8
+        self._qscale = qscale
+        self._ql1 = ql1
+        self._groups: Optional[Tuple[np.ndarray, ...]] = None
+
+    @classmethod
+    def from_views(cls, key: int, views: Dict[str, np.ndarray]) -> "_ShardData":
+        """Wrap one arena block's field views (worker / mmap side)."""
+        return cls(
+            key,
+            matrix=views["matrix"],
+            days=views["days"],
+            sq_norms=views["sq_norms"],
+            seqs=views["seqs"],
+            codes=views["codes"],
+            q8=views["q8"],
+            qscale=views["qscale"],
+            ql1=views["ql1"],
+        )
+
+    def quant(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The int8 copy ``(q8, scales, ql1)``, computed lazily if absent."""
+        if self._q8 is None:
+            self._q8, self._qscale, self._ql1 = quantize_rows(self.matrix)
+        return self._q8, self._qscale, self._ql1
+
+    def groups(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Category grouping of the shard's rows, cached between queries.
+
+        Returns ``(perm, starts, sizes, group_codes)``: ``perm`` lists row
+        indices grouped by category code (rows ascending inside each group,
+        via a stable sort, so "first in group" means "lowest insertion
+        sequence"); ``starts``/``sizes`` delimit the groups inside ``perm``
+        and ``group_codes`` is each group's category code.  Codes only
+        change on insert/relabel (which rebuilds this payload), so
+        per-query category argmaxes reduce to one ``np.maximum.reduceat``
+        instead of a full sort.
+        """
+        if self._groups is None:
+            codes = self.codes
+            perm = np.argsort(codes, kind="stable")
+            grouped = codes[perm]
+            starts = np.flatnonzero(
+                np.concatenate([[True], grouped[1:] != grouped[:-1]])
+            )
+            sizes = np.diff(np.concatenate([starts, [grouped.shape[0]]]))
+            self._groups = (perm, starts, sizes, grouped[starts])
+        return self._groups
+
+
+def _score_block(
+    data: _ShardData, queries: np.ndarray, days: np.ndarray, alpha: float
+) -> np.ndarray:
+    """Exact similarities of a query block against one shard's rows.
+
+    Replicates :meth:`NearestNeighborSearch.score_many` operation for
+    operation (same in-place pipeline, same order).  Sequential, threaded
+    and process execution score identical blocks, so their results are
+    bit-identical; a *different* block shape (the prefilter's survivor
+    rerank) computes the same float64 formula but BLAS may round the dot
+    product differently in the last bit depending on matrix shape.
+    """
+    scores = queries @ data.matrix.T
+    scores *= -2.0
+    scores += np.einsum("ij,ij->i", queries, queries)[:, None]
+    scores += data.sq_norms[None, :]
+    np.maximum(scores, 0.0, out=scores)  # guard fp cancellation
+    np.sqrt(scores, out=scores)
+    scores += 1.0  # 1 + distance
+    decay = data.days[None, :] - days[:, None]
+    np.abs(decay, out=decay)
+    decay *= -alpha
+    np.exp(decay, out=decay)
+    decay /= scores
+    return decay
+
+
+#: Safety factors of the quantized score bounds.  The f32 gemm term covers
+#: cast + accumulation rounding of a ``(dim+4)``-op dot over values
+#: bounded by 127; the subnormal term covers query elements that underflow
+#: the normalized f32 cast; the relative slack on the assembled bound
+#: dwarfs every remaining f64 rounding step by ~7 orders of magnitude.
+_QUANT_GEMM_EPS = 2e-7
+_QUANT_SUBNORMAL = 1e-43
+_QUANT_REL_SLACK = 1e-9
+_QUANT_SQ_GUARD = 1e-12
+
+
+def _quant_bounds(
+    data: _ShardData, queries: np.ndarray, days: np.ndarray, alpha: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Conservative ``(lower, upper)`` score bounds from the int8 copy.
+
+    The dot products are approximated on the quantized matrix in float32
+    (the cheap scan the prefilter pays instead of the float64 gemm); the
+    error budget covers quantization (``QUANT_HALF_STEP`` per element),
+    the f32 cast/accumulation, and the f64 assembly of the bound itself.
+    Queries are max-normalized before the f32 cast so adversarially tiny
+    or huge query scales cannot underflow the cast.  The guarantee used by
+    the prefilter: for every (query, row), ``lower <= s <= upper`` where
+    ``s`` is the exact score :func:`_score_block` would compute.
+    """
+    q8, qscale, _ = data.quant()
+    qmax = np.abs(queries).max(axis=1) if queries.shape[1] else np.zeros(queries.shape[0])
+    safe_qmax = np.where(qmax > 0.0, qmax, 1.0)
+    normalized = (queries / safe_qmax[:, None]).astype(np.float32)
+    approx = (normalized @ q8.astype(np.float32).T).astype(np.float64)
+    approx *= safe_qmax[:, None]
+    approx *= qscale[None, :]
+    q_l1 = np.abs(queries).sum(axis=1)
+    dim = queries.shape[1]
+    gemm_margin = shardmem.QUANT_HALF_STEP + 127.0 * (dim + 4) * _QUANT_GEMM_EPS
+    err = (
+        q_l1[:, None] * gemm_margin + qmax[:, None] * (127.0 * dim * _QUANT_SUBNORMAL)
+    ) * qscale[None, :]
+    q_sq = np.einsum("ij,ij->i", queries, queries)
+    base = q_sq[:, None] + data.sq_norms[None, :]
+    guard = _QUANT_SQ_GUARD * base
+    sq_lo = base - 2.0 * (approx + err) - guard
+    np.maximum(sq_lo, 0.0, out=sq_lo)
+    sq_hi = base - 2.0 * (approx - err) + guard
+    np.maximum(sq_hi, 0.0, out=sq_hi)
+    np.sqrt(sq_lo, out=sq_lo)
+    np.sqrt(sq_hi, out=sq_hi)
+    sq_lo += 1.0
+    sq_hi += 1.0
+    decay = data.days[None, :] - days[:, None]
+    np.abs(decay, out=decay)
+    decay *= -alpha
+    np.exp(decay, out=decay)
+    upper = decay / sq_lo
+    upper *= 1.0 + _QUANT_REL_SLACK
+    lower = decay / sq_hi
+    lower *= 1.0 - _QUANT_REL_SLACK
+    return lower, upper
+
+
+class _Candidates:
+    """One query's extracted candidates from one scored shard.
+
+    The immutable hand-off between the (parallelisable) extraction phase
+    and the (serial) fold phase of a scan wave: everything a worker computed
+    from the shard's score row, with no references into mutable query
+    state.  Plain slotted arrays, so the process backend pickles it cheaply.
+    ``rows`` index the shard's store; ``best_*`` carry the per-category
+    argmax payload (None when diversity is off or no row survived the
+    filters).
+    """
+
+    __slots__ = (
+        "entries_scanned", "scores", "seqs", "rows",
+        "best_codes", "best_scores", "best_seqs", "best_rows",
+    )
+
+    def __init__(
+        self,
+        entries_scanned: int,
+        scores: np.ndarray,
+        seqs: np.ndarray,
+        rows: np.ndarray,
+        best_codes: Optional[np.ndarray] = None,
+        best_scores: Optional[np.ndarray] = None,
+        best_seqs: Optional[np.ndarray] = None,
+        best_rows: Optional[np.ndarray] = None,
+    ) -> None:
+        self.entries_scanned = entries_scanned
+        self.scores = scores
+        self.seqs = seqs
+        self.rows = rows
+        self.best_codes = best_codes
+        self.best_scores = best_scores
+        self.best_seqs = best_seqs
+        self.best_rows = best_rows
+
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+
+def _select_candidates(
+    total: int,
+    scores: np.ndarray,
+    seqs: np.ndarray,
+    rows: np.ndarray,
+    codes: Optional[np.ndarray],
+    pool_size: int,
+    diverse: bool,
+) -> _Candidates:
+    """Candidates for one query from its eligible (score, seq, row) subset.
+
+    ``rows`` ascend, and rows are appended in insertion order, so within a
+    shard the global sequence ascends with the row index: a *stable*
+    argsort of the negated scores is the flat scan's (-score, seq) order.
+    With diversity on, ``codes`` aligns with ``rows`` and the per-category
+    argmaxes ride along (``np.unique``'s first-occurrence indices over the
+    ordered codes are exactly the per-group (score desc, seq asc) winners).
+    """
+    order = np.argsort(-scores, kind="stable")
+    keep = order[:pool_size]
+    if not diverse:
+        return _Candidates(total, scores[keep], seqs[keep], rows[keep].astype(np.int64))
+    codes_in_order = codes[order]
+    _, first = np.unique(codes_in_order, return_index=True)
+    argmax = order[first]
+    keep = np.union1d(keep, argmax)
+    return _Candidates(
+        total,
+        scores[keep],
+        seqs[keep],
+        rows[keep].astype(np.int64),
+        best_codes=codes_in_order[first],
+        best_scores=scores[argmax],
+        best_seqs=seqs[argmax],
+        best_rows=rows[argmax].astype(np.int64),
+    )
+
+
+def _extract_filtered_row(
+    data: _ShardData,
+    scores_row: np.ndarray,
+    exclude_rows: Tuple[int, ...],
+    history_before_day: Optional[float],
+    allowed_codes: Optional[Tuple[int, ...]],
+    pool_size: int,
+    diverse: bool,
+) -> _Candidates:
+    """Extract one *filtered* scored shard's candidates for one query.
+
+    Only called when some filter actually removes rows of this shard (a
+    look-ahead cut-off, a category filter, or an excluded id stored here);
+    unfiltered shards take the batched fast path.
+    """
+    total = data.total
+    mask: Optional[np.ndarray] = None
+    if history_before_day is not None:
+        mask = data.days < history_before_day
+    if allowed_codes is not None:
+        allowed = np.isin(data.codes, np.asarray(allowed_codes, dtype=np.int64))
+        mask = allowed if mask is None else (mask & allowed)
+    if exclude_rows:
+        if mask is None:
+            mask = np.ones(total, dtype=bool)
+        mask[np.asarray(exclude_rows, dtype=np.int64)] = False
+    assert mask is not None, "unfiltered queries must go through the fast path"
+    eligible = np.flatnonzero(mask)
+    if eligible.shape[0] == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return _Candidates(total, np.zeros(0), empty, empty)
+    return _select_candidates(
+        total,
+        scores_row[eligible],
+        data.seqs[eligible],
+        eligible,
+        data.codes[eligible] if diverse else None,
+        pool_size,
+        diverse,
+    )
+
+
+def _extract_fast(
+    data: _ShardData,
+    sub: np.ndarray,
+    fast: List[int],
+    pool_size: int,
+    diverse: bool,
+    payloads: List[Optional[_Candidates]],
+) -> None:
+    """Batched candidate extraction for the unfiltered queries of a block.
+
+    Top-pool *sets* per row (ordering is irrelevant — the pool merge
+    re-sorts): one batched argpartition, with boundary ties corrected per
+    row so the kept set matches the flat (-score, seq) ranking, and one
+    ``reduceat`` chain for the per-category argmaxes.
+    """
+    total = sub.shape[1]
+    seqs = data.seqs
+    if total <= pool_size:
+        top_matrix = np.broadcast_to(np.arange(total), (sub.shape[0], total))
+        tie_fix_rows = ()
+    else:
+        top_matrix = np.argpartition(-sub, pool_size - 1, axis=1)[:, :pool_size]
+        boundary = np.take_along_axis(sub, top_matrix, axis=1).min(axis=1)
+        ties_total = (sub == boundary[:, None]).sum(axis=1)
+        above = (sub > boundary[:, None]).sum(axis=1)
+        # Rows where ties straddle the partition boundary need the exact
+        # lowest-sequence ties instead of argpartition's arbitrary pick.
+        tie_fix_rows = np.flatnonzero(above + ties_total > pool_size)
+    argmax_matrix = None
+    group_codes = None
+    if diverse:
+        perm, starts, sizes, group_codes = data.groups()
+        grouped = sub[:, perm]
+        group_maxes = np.maximum.reduceat(grouped, starts, axis=1)
+        # First (lowest-row, hence lowest-seq) position achieving each
+        # group's maximum: positions where the max is attained, minimised
+        # per group.  perm ascends inside each group, so "first" is exact.
+        positions = np.where(
+            grouped == np.repeat(group_maxes, sizes, axis=1),
+            np.arange(total)[None, :],
+            total,
+        )
+        first = np.minimum.reduceat(positions, starts, axis=1)
+        argmax_matrix = perm[first]
+    for offset, position in enumerate(fast):
+        scores_row = sub[offset]
+        if len(tie_fix_rows) and offset in tie_fix_rows:
+            threshold = boundary[offset]
+            keep_above = np.flatnonzero(scores_row > threshold)
+            tied = np.flatnonzero(scores_row == threshold)
+            top = np.concatenate(
+                [keep_above, tied[: pool_size - keep_above.shape[0]]]
+            )
+        else:
+            top = top_matrix[offset]
+        if argmax_matrix is None:
+            payloads[position] = _Candidates(
+                total, scores_row[top], seqs[top], top.astype(np.int64)
+            )
+        else:
+            argmax_rows = argmax_matrix[offset]
+            keep_rows = np.union1d(top, argmax_rows)
+            payloads[position] = _Candidates(
+                total,
+                scores_row[keep_rows],
+                seqs[keep_rows],
+                keep_rows.astype(np.int64),
+                best_codes=group_codes,
+                best_scores=scores_row[argmax_rows],
+                best_seqs=seqs[argmax_rows],
+                best_rows=argmax_rows.astype(np.int64),
+            )
+
+
+def _extract_fast_prefiltered(
+    data: _ShardData,
+    queries_block: np.ndarray,
+    days_block: np.ndarray,
+    fast: List[int],
+    floors: np.ndarray,
+    pool_size: int,
+    diverse: bool,
+    alpha: float,
+    payloads: List[Optional[_Candidates]],
+) -> None:
+    """int8 scan-then-exact-rerank extraction for the unfiltered queries.
+
+    Exactness argument, per query: a dropped row's true score lies below
+    its quantized upper bound, which lies below both (a) the wave-start
+    pool floor — with a full pool every retained entry strictly outranks
+    it, and the floor only rises — and (b) the ``pool_size``-th largest
+    quantized *lower* bound, i.e. below the true score of at least
+    ``pool_size`` other rows of this shard, so the merged pool provably
+    never contains it.  With diversity on, every row whose upper bound
+    reaches its category group's best lower bound is additionally kept, so
+    each group's true argmax (and its exact ties) always survives and the
+    folded per-category bests are identical to the pure-float path.  The
+    rerank scores survivors of *all* queries of the block through one
+    float64 gemm over the union of surviving rows (never a per-query
+    gemv), running the exact :func:`_score_block` pipeline — so the
+    selected neighbours match the pure-float path (the bounds carry 1e-9
+    relative slack, dwarfing rounding noise), and reranked scores agree
+    with the full scan to BLAS shape-dependent rounding of the same
+    formula: bit-identical whenever the dot products are exactly
+    representable, within an ulp otherwise.
+    """
+    queries_fast = queries_block[fast]
+    days_fast = days_block[fast]
+    lower, upper = _quant_bounds(data, queries_fast, days_fast, alpha)
+    total = data.total
+    if diverse:
+        perm, starts, sizes, _ = data.groups()
+    survivors: List[np.ndarray] = []
+    for offset, position in enumerate(fast):
+        ub_row = upper[offset]
+        lb_row = lower[offset]
+        kth = np.partition(lb_row, total - pool_size)[total - pool_size]
+        keep = ub_row >= max(float(floors[position]), float(kth))
+        if diverse:
+            group_lb_max = np.maximum.reduceat(lb_row[perm], starts)
+            keep_perm = ub_row[perm] >= np.repeat(group_lb_max, sizes)
+            keep[perm[keep_perm]] = True
+        survivors.append(np.flatnonzero(keep))
+    union = np.unique(np.concatenate(survivors))
+    sub_data = _ShardData(
+        data.key,
+        matrix=data.matrix[union],
+        days=data.days[union],
+        sq_norms=data.sq_norms[union],
+        seqs=data.seqs[union],
+        codes=data.codes[union],
+    )
+    rerank = _score_block(sub_data, queries_fast, days_fast, alpha)
+    for offset, position in enumerate(fast):
+        rows = survivors[offset]
+        scores_row = rerank[offset][np.searchsorted(union, rows)]
+        payloads[position] = _select_candidates(
+            total,
+            scores_row,
+            data.seqs[rows],
+            rows,
+            data.codes[rows] if diverse else None,
+            pool_size,
+            diverse,
+        )
+
+
+def _extract_block(
+    data: _ShardData,
+    queries_block: np.ndarray,
+    days_block: np.ndarray,
+    exclude_rows: List[Tuple[int, ...]],
+    history_before_day: Optional[float],
+    allowed_codes: Optional[Tuple[int, ...]],
+    floors: np.ndarray,
+    pool_size: int,
+    diverse: bool,
+    alpha: float,
+    prefilter: bool,
+) -> List[_Candidates]:
+    """Score one shard and extract candidates for its nominating queries.
+
+    The single extraction code path every execution mode runs — inline,
+    thread worker or process worker — which is what makes parity across
+    backends structural rather than coincidental.  Read-only with respect
+    to query state; the returned payloads are folded serially by
+    ``_fold``.  The hot path (no look-ahead cut-off, no category filter,
+    no excluded id stored in *this* shard) extracts candidates for the
+    whole sub-batch at once; queries that do filter rows of this shard
+    take the exact per-query path over full float scores.
+    """
+    block = queries_block.shape[0]
+    payloads: List[Optional[_Candidates]] = [None] * block
+    batch_filtered = history_before_day is not None or allowed_codes is not None
+    fast: List[int] = []
+    slow: List[int] = []
+    for position in range(block):
+        if batch_filtered or exclude_rows[position]:
+            slow.append(position)
+        else:
+            fast.append(position)
+    if prefilter and not batch_filtered and data.total > pool_size:
+        if slow:
+            scores = _score_block(
+                data, queries_block[slow], days_block[slow], alpha
+            )
+            for offset, position in enumerate(slow):
+                payloads[position] = _extract_filtered_row(
+                    data, scores[offset], exclude_rows[position],
+                    history_before_day, allowed_codes, pool_size, diverse,
+                )
+        if fast:
+            _extract_fast_prefiltered(
+                data, queries_block, days_block, fast, floors,
+                pool_size, diverse, alpha, payloads,
+            )
+        return payloads
+    scores = _score_block(data, queries_block, days_block, alpha)
+    for position in slow:
+        payloads[position] = _extract_filtered_row(
+            data, scores[position], exclude_rows[position],
+            history_before_day, allowed_codes, pool_size, diverse,
+        )
+    if fast:
+        _extract_fast(data, scores[fast], fast, pool_size, diverse, payloads)
+    return payloads
+
+
+# --------------------------------------------------------- process workers
+#: Anonymous-RSS baseline of a scoring worker, recorded at fork time so
+#: probes report the *incremental* private cost of scoring work.
+_WORKER_BASE_RSS: Optional[int] = None
+
+
+def _init_score_worker() -> None:
+    global _WORKER_BASE_RSS
+    _WORKER_BASE_RSS = shardmem.rss_anon_kb()
+
+
+def _worker_rss_probe() -> Tuple[int, Optional[int]]:
+    """(pid, incremental anonymous RSS in kB) of one scoring worker."""
+    current = shardmem.rss_anon_kb()
+    if current is None or _WORKER_BASE_RSS is None:
+        return (os.getpid(), None)
+    return (os.getpid(), current - _WORKER_BASE_RSS)
+
+
+def _extract_in_worker(
+    spec: ArenaSpec,
+    key: int,
+    queries_block: np.ndarray,
+    days_block: np.ndarray,
+    exclude_rows: List[Tuple[int, ...]],
+    history_before_day: Optional[float],
+    allowed_codes: Optional[Tuple[int, ...]],
+    floors: np.ndarray,
+    pool_size: int,
+    diverse: bool,
+    alpha: float,
+    prefilter: bool,
+) -> List[_Candidates]:
+    """Process-pool task: attach the arena by name, score, extract.
+
+    The task payload is (shard key, query block, wave-start floors) plus
+    scalars — never vectors.  The arena attachment is cached per worker
+    process and ages out when the parent remaps (see
+    :func:`shardmem.attached_arena`).
+    """
+    arena = shardmem.attached_arena(spec)
+    data = _ShardData.from_views(key, arena.views(key))
+    return _extract_block(
+        data, queries_block, days_block, exclude_rows, history_before_day,
+        allowed_codes, floors, pool_size, diverse, alpha, prefilter,
+    )
 
 
 class _Shard:
@@ -127,9 +726,9 @@ class _Shard:
     """
 
     __slots__ = (
-        "key", "store", "search", "seqs", "cat_codes", "cat_counts",
+        "key", "store", "seqs", "cat_codes", "cat_counts",
         "min_day", "max_day", "start_day", "end_day",
-        "_seq_array", "_code_array", "_groups",
+        "_seq_array", "_code_array", "_data",
     )
 
     def __init__(
@@ -141,7 +740,6 @@ class _Shard:
     ) -> None:
         self.key = key
         self.store = VectorStore()
-        self.search = NearestNeighborSearch(self.store, similarity)
         self.seqs: List[int] = []       # global insertion sequence per row
         self.cat_codes: List[int] = []  # global category code per row
         self.cat_counts: Counter = Counter()
@@ -151,7 +749,7 @@ class _Shard:
         self.end_day = end_day
         self._seq_array: Optional[np.ndarray] = None
         self._code_array: Optional[np.ndarray] = None
-        self._groups: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._data: Optional[_ShardData] = None
 
     def seq_array(self) -> np.ndarray:
         if self._seq_array is None or self._seq_array.shape[0] != len(self.seqs):
@@ -163,31 +761,26 @@ class _Shard:
             self._code_array = np.asarray(self.cat_codes, dtype=np.int64)
         return self._code_array
 
-    def invalidate_groups(self) -> None:
-        self._groups = None
+    def invalidate_data(self) -> None:
+        self._data = None
 
-    def groups(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Category grouping of the shard's rows, cached between queries.
+    def data(self) -> _ShardData:
+        """The shard's scoring payload, rebuilt when rows were appended.
 
-        Returns ``(perm, starts, sizes, group_codes)``: ``perm`` lists row
-        indices grouped by category code (rows ascending inside each group,
-        via a stable sort, so "first in group" means "lowest insertion
-        sequence"); ``starts``/``sizes`` delimit the groups inside ``perm``
-        and ``group_codes`` is each group's category code.  Codes only
-        change on insert/relabel, so per-query category argmaxes reduce to
-        one ``np.maximum.reduceat`` instead of a full sort, and coverage
-        checks against a query's per-category bests are one ``np.all``.
+        Inserts only ever append (and relabels invalidate explicitly), so a
+        row-count check suffices; the store's matrix/days/norm buffers are
+        only replaced on growth, which implies a row-count change.
         """
-        if self._groups is None or self._groups[0].shape[0] != len(self.cat_codes):
-            codes = self.code_array()
-            perm = np.argsort(codes, kind="stable")
-            grouped = codes[perm]
-            starts = np.flatnonzero(
-                np.concatenate([[True], grouped[1:] != grouped[:-1]])
+        if self._data is None or self._data.total != len(self.store):
+            self._data = _ShardData(
+                self.key,
+                matrix=self.store.matrix(),
+                days=self.store.created_days(),
+                sq_norms=self.store.squared_norms(),
+                seqs=self.seq_array(),
+                codes=self.code_array(),
             )
-            sizes = np.diff(np.concatenate([starts, [grouped.shape[0]]]))
-            self._groups = (perm, starts, sizes, grouped[starts])
-        return self._groups
+        return self._data
 
     def dt_min(self, query_day: float) -> float:
         """Smallest possible |query_day - entry_day| over the shard's entries."""
@@ -262,43 +855,6 @@ class _QueryState:
             self.covered_min = float(self.best_scores.min())
 
 
-class _Candidates:
-    """One query's extracted candidates from one scored shard.
-
-    The immutable hand-off between the (parallelisable) extraction phase
-    and the (serial) fold phase of a scan wave: everything a worker computed
-    from the shard's score row, with no references into mutable query
-    state.  ``rows`` index the shard's store; ``best_*`` carry the
-    per-category argmax payload (None when diversity is off or no row
-    survived the filters).
-    """
-
-    __slots__ = (
-        "entries_scanned", "scores", "seqs", "rows",
-        "best_codes", "best_scores", "best_seqs", "best_rows",
-    )
-
-    def __init__(
-        self,
-        entries_scanned: int,
-        scores: np.ndarray,
-        seqs: np.ndarray,
-        rows: np.ndarray,
-        best_codes: Optional[np.ndarray] = None,
-        best_scores: Optional[np.ndarray] = None,
-        best_seqs: Optional[np.ndarray] = None,
-        best_rows: Optional[np.ndarray] = None,
-    ) -> None:
-        self.entries_scanned = entries_scanned
-        self.scores = scores
-        self.seqs = seqs
-        self.rows = rows
-        self.best_codes = best_codes
-        self.best_scores = best_scores
-        self.best_seqs = best_seqs
-        self.best_rows = best_rows
-
-
 class ShardedVectorIndex:
     """Entries partitioned by time window; queries scan only relevant shards.
 
@@ -316,16 +872,29 @@ class ShardedVectorIndex:
         window_days: float = DEFAULT_WINDOW_DAYS,
         max_workers: Optional[int] = None,
         compaction: Optional[CompactionPolicy] = None,
+        scoring_backend: str = "thread",
+        quantized_prefilter: bool = False,
     ) -> None:
         if window_days <= 0:
             raise ValueError("window_days must be positive")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be positive (or None for auto)")
+        if scoring_backend not in SCORING_BACKENDS:
+            raise ValueError(
+                f"unknown scoring backend: {scoring_backend!r} "
+                f"(expected one of {SCORING_BACKENDS})"
+            )
         self.window_days = float(window_days)
-        #: Worker threads scoring a wave's shards concurrently; None picks
-        #: the machine's core count, 1 forces the sequential path.  Results
-        #: and stats are identical in both modes.
+        #: Workers scoring a wave's shards concurrently; None picks the
+        #: machine's core count, 1 forces the sequential path.  Results
+        #: and stats are identical in every mode.
         self.max_workers = max_workers
+        #: "thread" (BLAS drops the GIL) or "process" (workers attach the
+        #: shared-memory arena by name; tasks never carry vectors).
+        self.scoring_backend = scoring_backend
+        #: Scan the int8 copy first and rerank survivors in float64;
+        #: exact — see the module docstring.
+        self.quantized_prefilter = bool(quantized_prefilter)
         self.compaction = compaction or CompactionPolicy()
         self._similarity = similarity or SimilarityConfig()
         self._shards: Dict[int, _Shard] = {}
@@ -339,8 +908,13 @@ class ShardedVectorIndex:
         self._next_shard_key = 0
         self._inserts_since_compact = 0
         # lazily spawned scoring pool, reused across search_many calls
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor = None
         self._executor_workers = 0
+        # shared-memory arena for process scoring: rebuilt when the epoch
+        # (any mutation of stored rows/labels/layout) moves past it.
+        self._arena: Optional[ShardArena] = None
+        self._arena_epoch = -1
+        self._epoch = 0
         # scan statistics (cumulative over the index lifetime)
         self._queries = 0
         self._shards_considered = 0
@@ -356,46 +930,121 @@ class ShardedVectorIndex:
 
     #: Ceiling of the automatic (``max_workers=None``) pool size.  A wave
     #: submits one task per nominated shard — typically a handful after
-    #: pruning — so beyond this the extra threads of a many-core host
+    #: pruning — so beyond this the extra workers of a many-core host
     #: would only ever idle.  An explicit ``max_workers`` is honoured as
     #: given.
     AUTO_WORKERS_CAP = 16
 
     def _effective_workers(self) -> int:
-        """Worker threads a scan wave may use (1 means sequential)."""
+        """Workers a scan wave may use (1 means sequential)."""
         if self.max_workers is not None:
             return max(1, int(self.max_workers))
         return max(1, min(os.cpu_count() or 1, self.AUTO_WORKERS_CAP))
 
-    def _pool_for(self, workers: int) -> ThreadPoolExecutor:
+    def _pool_for(self, workers: int):
         """The shared scoring pool, (re)spawned lazily on first parallel wave.
 
-        Cached on the index so a streaming deployment does not pay thread
+        Cached on the index so a streaming deployment does not pay
         spawn/teardown on every micro-batch; a changed ``max_workers`` or a
-        :meth:`close` respawns it on next use.
+        :meth:`close` respawns it on next use.  The process backend pins
+        the ``fork`` start method: workers inherit the imported modules and
+        attach shard payloads through the shared arena, so neither code nor
+        vectors are re-shipped per task.
         """
         if self._executor is None or self._executor_workers != workers:
             if self._executor is not None:
                 self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="shard-score"
-            )
+            if self.scoring_backend == "process":
+                try:
+                    context = multiprocessing.get_context("fork")
+                except ValueError as error:  # pragma: no cover - non-POSIX
+                    raise RuntimeError(
+                        "scoring_backend='process' requires the fork start method"
+                    ) from error
+                self._executor = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=_init_score_worker,
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="shard-score"
+                )
             self._executor_workers = workers
         return self._executor
 
+    def _ensure_arena(self) -> ShardArena:
+        """The current shared-memory arena, rebuilt when the index mutated.
+
+        The swap never invalidates readers mid-search: the stale segment is
+        unlinked *after* the fresh one exists, and POSIX keeps an unlinked
+        segment's memory alive until the last attached mapping closes —
+        workers age stale attachments out of a small keep-last cache.
+        """
+        if self._arena is not None and self._arena_epoch == self._epoch:
+            return self._arena
+        payloads = []
+        for key in sorted(self._shards):
+            data = self._shards[key].data()
+            q8, qscale, ql1 = data.quant()
+            payloads.append(
+                (key, {
+                    "matrix": data.matrix, "days": data.days,
+                    "sq_norms": data.sq_norms, "seqs": data.seqs,
+                    "codes": data.codes, "q8": q8, "qscale": qscale,
+                    "ql1": ql1,
+                })
+            )
+        fresh = ShardArena.build(payloads, kind="shm")
+        stale = self._arena
+        self._arena = fresh
+        self._arena_epoch = self._epoch
+        if stale is not None:
+            stale.destroy()
+        return fresh
+
+    def arena_bytes(self) -> int:
+        """Size of the live shared-memory arena in bytes (0 when none)."""
+        return 0 if self._arena is None else self._arena.nbytes
+
+    def worker_rss_samples(self, probes: int = 8) -> List[int]:
+        """Incremental anonymous RSS (kB) probes of live scoring workers.
+
+        Process backend only (empty list otherwise / off Linux): each probe
+        runs in whichever worker picks it up and reports that worker's
+        private RSS growth since fork — the "zero-copy" number the memory
+        gate checks, excluding shm/file-backed arena pages by construction.
+        """
+        if self.scoring_backend != "process" or self._executor is None:
+            return []
+        futures = [self._executor.submit(_worker_rss_probe) for _ in range(probes)]
+        samples = [future.result()[1] for future in futures]
+        return [sample for sample in samples if sample is not None]
+
     def close(self) -> None:
-        """Release the scoring worker pool (idempotent; respawns on use)."""
+        """Release the scoring pool and unlink the shared-memory arena.
+
+        Idempotent; both respawn lazily on next use.  Unlinking on close is
+        what keeps ``/dev/shm`` clean across index lifetimes — attached
+        worker mappings stay valid until their processes exit.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
             self._executor_workers = 0
+        if self._arena is not None:
+            self._arena.destroy()
+            self._arena = None
+            self._arena_epoch = -1
 
     def __getstate__(self) -> dict:
-        # Worker pools cannot be copied or pickled; the copy respawns its
-        # own on first parallel wave.
+        # Worker pools and shared-memory mappings cannot be copied or
+        # pickled; the copy respawns/rebuilds its own on first use.
         state = dict(self.__dict__)
         state["_executor"] = None
         state["_executor_workers"] = 0
+        state["_arena"] = None
+        state["_arena_epoch"] = -1
         return state
 
     def __del__(self) -> None:
@@ -413,8 +1062,6 @@ class ShardedVectorIndex:
     @similarity.setter
     def similarity(self, config: SimilarityConfig) -> None:
         self._similarity = config
-        for shard in self._shards.values():
-            shard.search.config = config
 
     @property
     def dim(self) -> Optional[int]:
@@ -572,13 +1219,19 @@ class ShardedVectorIndex:
                 shard.max_day = max(shard.max_day, day)
                 self._locator[incident_ids[row]] = key
         self._next_seq += count
+        self._epoch += 1
         self._inserts_since_compact += count
         if (
             self.compaction.auto
             and self._inserts_since_compact >= self.compaction.check_every
         ):
             self._inserts_since_compact = 0
-            self.compact()
+            report = self.compact()
+            if report.get("shards_deferred"):
+                # A rewrite budget left work behind: stay primed so the
+                # next insert wave continues the backlog instead of
+                # waiting out another full cadence.
+                self._inserts_since_compact = self.compaction.check_every
 
     # ------------------------------------------------------------------ update
     def update_category(self, incident_id: str, category: str) -> None:
@@ -603,7 +1256,8 @@ class ShardedVectorIndex:
             shard.cat_counts[category] += 1
             shard.cat_codes[row] = self._code_for(category)
             shard._code_array = None
-            shard.invalidate_groups()
+            shard.invalidate_data()
+            self._epoch += 1
 
     # ------------------------------------------------------------------ search
     def search(
@@ -741,17 +1395,34 @@ class ShardedVectorIndex:
             exclude_ids[qi] if exclude_ids is not None else None
             for qi in range(total_queries)
         ]
+        # The category filter compiled to integer codes once per call so
+        # every extraction — local or in a worker process — shares it.
+        allowed_codes: Optional[Tuple[int, ...]] = None
+        if categories is not None:
+            allowed_codes = tuple(
+                sorted(
+                    self._cat_code[category]
+                    for category in categories
+                    if category in self._cat_code
+                )
+            )
         # Parallel mode: a wave's shards are independent — every query
         # nominates exactly one shard per wave and prune decisions were
         # taken against the pool state as of wave start — so scoring and
-        # candidate extraction fan out to worker threads (numpy releases
-        # the GIL inside the BLAS product) while every state mutation is
-        # folded on this thread in sorted-key order, exactly like the
-        # sequential path.  Parity is structural: both modes run the same
-        # extract/fold code, only the extraction scheduling differs.
+        # candidate extraction fan out to workers (threads: numpy releases
+        # the GIL inside the BLAS product; processes: workers attach the
+        # shared arena and ship back only candidate payloads) while every
+        # state mutation is folded on this thread in sorted-key order,
+        # exactly like the sequential path.  Parity is structural: all
+        # modes run the same extract/fold code, only scheduling differs.
         workers = self._effective_workers()
+        use_processes = self.scoring_backend == "process"
         while True:
             nominations: Dict[int, List[int]] = {}
+            # Pool floors captured at nomination time (wave-start state):
+            # both the prune test and the quantized prefilter threshold
+            # must see the same floor in every execution mode.
+            wave_floors: Dict[int, float] = {}
             for qi, state in enumerate(states):
                 if state.done:
                     continue
@@ -762,37 +1433,67 @@ class ShardedVectorIndex:
                     state.done = True
                 else:
                     nominations.setdefault(key, []).append(qi)
+                    wave_floors[qi] = state.pool_min(pool_size)
             if not nominations:
                 break
             keys = sorted(nominations)
             if workers > 1 and len(keys) > 1:
                 pool = self._pool_for(workers)
-                futures = [
-                    pool.submit(
-                        self._extract_shard,
-                        self._shards[key],
-                        nominations[key],
-                        queries,
-                        days,
-                        excludes,
-                        history_before_day,
-                        categories,
-                        pool_size,
-                        diverse,
-                    )
-                    for key in keys
-                ]
+                if use_processes:
+                    spec = self._ensure_arena().spec
+                    futures = [
+                        pool.submit(
+                            _extract_in_worker,
+                            spec,
+                            key,
+                            queries[nominations[key]],
+                            days[nominations[key]],
+                            [
+                                self._exclude_rows(self._shards[key], excludes[qi])
+                                for qi in nominations[key]
+                            ],
+                            history_before_day,
+                            allowed_codes,
+                            np.array(
+                                [wave_floors[qi] for qi in nominations[key]],
+                                dtype=np.float64,
+                            ),
+                            pool_size,
+                            diverse,
+                            alpha,
+                            self.quantized_prefilter,
+                        )
+                        for key in keys
+                    ]
+                else:
+                    futures = [
+                        pool.submit(
+                            self._extract_local,
+                            key,
+                            nominations[key],
+                            queries,
+                            days,
+                            excludes,
+                            history_before_day,
+                            allowed_codes,
+                            wave_floors,
+                            pool_size,
+                            diverse,
+                        )
+                        for key in keys
+                    ]
                 extracted = [future.result() for future in futures]
             else:
                 extracted = [
-                    self._extract_shard(
-                        self._shards[key],
+                    self._extract_local(
+                        key,
                         nominations[key],
                         queries,
                         days,
                         excludes,
                         history_before_day,
-                        categories,
+                        allowed_codes,
+                        wave_floors,
                         pool_size,
                         diverse,
                     )
@@ -875,7 +1576,7 @@ class ShardedVectorIndex:
             if categories is None:
                 if state.covered_min > upper_bound:
                     return True
-                group_codes = shard.groups()[3]
+                group_codes = shard.data().groups()[3]
                 return bool(np.all(state.best_scores[group_codes] > upper_bound))
             for category in shard.cat_counts:
                 if category not in categories:
@@ -885,182 +1586,47 @@ class ShardedVectorIndex:
                     return False
         return True
 
-    def _extract_shard(
+    def _exclude_rows(self, shard: _Shard, exclude: Optional[Set[str]]) -> Tuple[int, ...]:
+        """A shard-local sorted row tuple for a query's exclusion ids."""
+        if not exclude:
+            return ()
+        return tuple(
+            sorted(
+                shard.store.index_of(incident_id)
+                for incident_id in exclude
+                if self._locator.get(incident_id) == shard.key
+            )
+        )
+
+    def _extract_local(
         self,
-        shard: _Shard,
+        key: int,
         qrows: List[int],
         queries: np.ndarray,
         days: np.ndarray,
         excludes: List[Optional[Set[str]]],
         history_before_day: Optional[float],
-        categories: Optional[Set[str]],
+        allowed_codes: Optional[Tuple[int, ...]],
+        wave_floors: Dict[int, float],
         pool_size: int,
         diverse: bool,
     ) -> List[_Candidates]:
-        """Score one shard and extract candidates for its nominating queries.
-
-        Read-only with respect to query state, so a wave's shards can run
-        on worker threads concurrently; the returned payloads are folded
-        serially by :meth:`_fold`.  The hot path (no look-ahead cut-off, no
-        category filter, no excluded id stored in *this* shard) extracts
-        candidates for the whole sub-batch at once — one batched
-        ``argpartition`` for the top pools and one ``reduceat`` chain for
-        the per-category argmaxes.  Queries that do filter rows of this
-        shard take the exact per-query path.
-        """
-        scores = shard.search.score_many(queries[qrows], days[qrows])
-        payloads: List[Optional[_Candidates]] = [None] * len(qrows)
-        fast_rows: List[int] = []
-        if history_before_day is None and categories is None:
-            for position, qi in enumerate(qrows):
-                exclude = excludes[qi]
-                if exclude and any(
-                    self._locator.get(incident_id) == shard.key
-                    for incident_id in exclude
-                ):
-                    payloads[position] = self._extract_filtered(
-                        shard, scores[position], exclude,
-                        history_before_day, categories, pool_size, diverse,
-                    )
-                else:
-                    fast_rows.append(position)
-        else:
-            for position, qi in enumerate(qrows):
-                payloads[position] = self._extract_filtered(
-                    shard, scores[position], excludes[qi],
-                    history_before_day, categories, pool_size, diverse,
-                )
-        if not fast_rows:
-            return payloads
-        sub = scores[fast_rows]
-        total = sub.shape[1]
-        seqs = shard.seq_array()
-        # Top-pool *sets* per row (ordering is irrelevant — the pool merge
-        # re-sorts): one batched argpartition, with boundary ties corrected
-        # per row so the kept set matches the flat (-score, seq) ranking.
-        if total <= pool_size:
-            top_matrix = np.broadcast_to(np.arange(total), (sub.shape[0], total))
-            tie_fix_rows = ()
-        else:
-            top_matrix = np.argpartition(-sub, pool_size - 1, axis=1)[:, :pool_size]
-            boundary = np.take_along_axis(sub, top_matrix, axis=1).min(axis=1)
-            ties_total = (sub == boundary[:, None]).sum(axis=1)
-            above = (sub > boundary[:, None]).sum(axis=1)
-            # Rows where ties straddle the partition boundary need the exact
-            # lowest-sequence ties instead of argpartition's arbitrary pick.
-            tie_fix_rows = np.flatnonzero(above + ties_total > pool_size)
-        argmax_matrix = None
-        group_codes = None
-        if diverse:
-            perm, starts, sizes, group_codes = shard.groups()
-            grouped = sub[:, perm]
-            group_maxes = np.maximum.reduceat(grouped, starts, axis=1)
-            # First (lowest-row, hence lowest-seq) position achieving each
-            # group's maximum: positions where the max is attained, minimised
-            # per group.  perm ascends inside each group, so "first" is exact.
-            positions = np.where(
-                grouped == np.repeat(group_maxes, sizes, axis=1),
-                np.arange(total)[None, :],
-                total,
-            )
-            first = np.minimum.reduceat(positions, starts, axis=1)
-            argmax_matrix = perm[first]
-        for offset, position in enumerate(fast_rows):
-            scores_row = sub[offset]
-            if len(tie_fix_rows) and offset in tie_fix_rows:
-                threshold = boundary[offset]
-                keep_above = np.flatnonzero(scores_row > threshold)
-                tied = np.flatnonzero(scores_row == threshold)
-                top = np.concatenate(
-                    [keep_above, tied[: pool_size - keep_above.shape[0]]]
-                )
-            else:
-                top = top_matrix[offset]
-            if argmax_matrix is None:
-                payloads[position] = _Candidates(
-                    total, scores_row[top], seqs[top], top.astype(np.int64)
-                )
-            else:
-                argmax_rows = argmax_matrix[offset]
-                keep_rows = np.union1d(top, argmax_rows)
-                payloads[position] = _Candidates(
-                    total,
-                    scores_row[keep_rows],
-                    seqs[keep_rows],
-                    keep_rows.astype(np.int64),
-                    best_codes=group_codes,
-                    best_scores=scores_row[argmax_rows],
-                    best_seqs=seqs[argmax_rows],
-                    best_rows=argmax_rows.astype(np.int64),
-                )
-        return payloads
-
-    def _extract_filtered(
-        self,
-        shard: _Shard,
-        scores_row: np.ndarray,
-        exclude: Optional[Set[str]],
-        history_before_day: Optional[float],
-        categories: Optional[Set[str]],
-        pool_size: int,
-        diverse: bool,
-    ) -> _Candidates:
-        """Extract one *filtered* scored shard's candidates for one query.
-
-        Only called when some filter actually removes rows of this shard (a
-        look-ahead cut-off, a category filter, or an excluded id stored
-        here); unfiltered shards take :meth:`_extract_shard`'s batched path.
-        """
-        total = len(shard.store)
-        mask: Optional[np.ndarray] = None
-        if history_before_day is not None:
-            mask = shard.store.created_days() < history_before_day
-        if categories is not None:
-            allowed = np.fromiter(
-                (entry.category in categories for entry in shard.store._entries),  # noqa: SLF001
-                dtype=bool,
-                count=total,
-            )
-            mask = allowed if mask is None else (mask & allowed)
-        if exclude:
-            for incident_id in exclude:
-                if self._locator.get(incident_id) == shard.key:
-                    row = shard.store.index_of(incident_id)
-                    if mask is None:
-                        mask = np.ones(total, dtype=bool)
-                    mask[row] = False
-        assert mask is not None, "unfiltered shards must go through _extract_shard"
-        eligible = np.flatnonzero(mask)
-        if eligible.shape[0] == 0:
-            empty = np.zeros(0, dtype=np.int64)
-            return _Candidates(total, np.zeros(0), empty, empty)
-        elig_scores = scores_row[eligible]
-        elig_seqs = shard.seq_array()[eligible]
-        # Rows are appended in insertion order, so within a shard the
-        # global sequence ascends with the row index: a *stable* argsort
-        # of the negated scores is the flat scan's (-score, seq) order.
-        order = np.argsort(-elig_scores, kind="stable")
-        keep_rows = order[:pool_size]
-        if not diverse:
-            return _Candidates(
-                total,
-                elig_scores[keep_rows],
-                elig_seqs[keep_rows],
-                eligible[keep_rows].astype(np.int64),
-            )
-        codes_in_order = shard.code_array()[eligible][order]
-        _, first = np.unique(codes_in_order, return_index=True)
-        argmax_rows = order[first]
-        keep_rows = np.union1d(keep_rows, argmax_rows)
-        return _Candidates(
-            total,
-            elig_scores[keep_rows],
-            elig_seqs[keep_rows],
-            eligible[keep_rows].astype(np.int64),
-            best_codes=codes_in_order[first],
-            best_scores=elig_scores[argmax_rows],
-            best_seqs=elig_seqs[argmax_rows],
-            best_rows=eligible[argmax_rows].astype(np.int64),
+        """Extract one shard's candidates in-process (sequential/thread mode)."""
+        shard = self._shards[key]
+        exclude_rows = [self._exclude_rows(shard, excludes[qi]) for qi in qrows]
+        floors = np.array([wave_floors[qi] for qi in qrows], dtype=np.float64)
+        return _extract_block(
+            shard.data(),
+            queries[qrows],
+            days[qrows],
+            exclude_rows,
+            history_before_day,
+            allowed_codes,
+            floors,
+            pool_size,
+            diverse,
+            self._similarity.alpha,
+            self.quantized_prefilter,
         )
 
     def _fold(
@@ -1077,7 +1643,7 @@ class ShardedVectorIndex:
         sorted-shard-key order, regardless of how many workers extracted.
         That makes the scanned/pruned statistics race-free by construction
         (per-shard payloads are the "per-worker accumulators", reduced here
-        at wave end) and bit-identical between the two execution modes.
+        at wave end) and bit-identical between the execution modes.
         """
         state.scanned += 1
         self._entries_scanned += candidates.entries_scanned
@@ -1264,6 +1830,7 @@ class ShardedVectorIndex:
         self,
         min_entries: Optional[int] = None,
         max_entries: Optional[int] = None,
+        max_rewrite_shards: Optional[int] = None,
     ) -> Dict[str, float]:
         """Rebalance the shard layout: split hot shards, merge cold runs.
 
@@ -1275,16 +1842,31 @@ class ShardedVectorIndex:
         changes.  Thresholds default to the index's
         :class:`CompactionPolicy`.
 
+        ``max_rewrite_shards`` (default: the policy's) bounds how many
+        *source* shards one call rewrites, keeping the pause a compaction
+        inflicts on an ingest wave O(budget) instead of O(backlog): a
+        split consumes one unit, merging a run consumes the run's length,
+        and whatever does not fit is reported as ``shards_deferred`` so
+        auto-compaction stays primed to continue on the next wave.
+
         Returns:
-            A report: shards before/after, how many were merged/split, and
-            the resulting max/median shard sizes.
+            A report: shards before/after, how many were merged/split, how
+            many qualifying rewrites the budget deferred, and the
+            resulting max/median shard sizes.
         """
         floor = self.compaction.min_entries if min_entries is None else min_entries
         ceiling = self.compaction.max_entries if max_entries is None else max_entries
+        budget = (
+            self.compaction.max_rewrite_shards
+            if max_rewrite_shards is None
+            else max_rewrite_shards
+        )
         if ceiling <= 0:
             raise ValueError("max_entries must be positive")
         if floor < 0:
             raise ValueError("min_entries must be non-negative")
+        if budget is not None and budget < 1:
+            raise ValueError("max_rewrite_shards must be positive (or None for unlimited)")
         if floor and ceiling < 2 * floor:
             # Same invariant CompactionPolicy enforces: otherwise a split
             # produces sub-floor pieces the merge pass can never recombine
@@ -1293,6 +1875,8 @@ class ShardedVectorIndex:
                 "max_entries must be at least twice min_entries, or split "
                 "pieces would immediately re-qualify for merging"
             )
+        remaining = math.inf if budget is None else float(budget)
+        deferred = 0
         shards_before = len(self._shards)
         split_sources = 0
         merged_sources = 0
@@ -1301,6 +1885,13 @@ class ShardedVectorIndex:
             shard = self._shards[key]
             if len(shard.store) <= ceiling:
                 continue
+            if shard.max_day <= shard.min_day:
+                # Single-day shard: unsplittable regardless of budget, so
+                # it must not occupy (or defer) rewrite slots forever.
+                continue
+            if remaining < 1:
+                deferred += 1
+                continue
             pieces = self._split_shard(shard, ceiling, floor)
             if len(pieces) <= 1:
                 continue
@@ -1308,6 +1899,7 @@ class ShardedVectorIndex:
             for piece in pieces:
                 self._adopt(piece)
             split_sources += 1
+            remaining -= 1
         # ---- merge pass: runs of time-adjacent shards below the floor
         if floor > 0:
             ordered = sorted(
@@ -1331,55 +1923,143 @@ class ShardedVectorIndex:
             if len(run) >= 2:
                 groups.append(run)
             for group in groups:
+                if remaining < len(group):
+                    # Merge the prefix that fits (a merged prefix is still a
+                    # valid, strictly better layout) and defer the rest.
+                    take = int(remaining)
+                    if take < 2:
+                        deferred += len(group)
+                        continue
+                    deferred += len(group) - take
+                    group = group[:take]
                 merged = self._merge_shards(group)
                 for shard in group:
                     del self._shards[shard.key]
                 self._adopt(merged)
                 merged_sources += len(group)
+                remaining -= len(group)
         if split_sources or merged_sources:
             self._compactions += 1
             self._shards_split += split_sources
             self._shards_merged += merged_sources
             self._rebuild_ranges()
+            self._epoch += 1
         sizes = sorted(len(shard.store) for shard in self._shards.values())
         return {
             "shards_before": float(shards_before),
             "shards_after": float(len(self._shards)),
             "shards_split": float(split_sources),
             "shards_merged": float(merged_sources),
+            "shards_deferred": float(deferred),
             "max_shard_size": float(sizes[-1] if sizes else 0),
             "median_shard_size": float(sizes[len(sizes) // 2] if sizes else 0),
         }
 
     # ------------------------------------------------------------ persistence
-    def save(self, path: str) -> None:
-        """Persist to a directory: one ``.npz`` per shard + ``manifest.json``.
+    def save(self, path, version: int = 3) -> None:
+        """Persist to a directory (v3 default: one mmap arena + manifest).
 
-        Shards are self-contained :meth:`VectorStore.save` archives, so time
-        ranges can be copied, shipped or restored independently; the manifest
-        records the window layout and each shard's global insertion sequence.
+        Version 3 lays every shard's scoring payload — including the cached
+        squared norms and the int8 quantized copy — into a single aligned
+        ``arena.bin`` whose byte layout is identical to the in-memory
+        shared arena, so :meth:`load` memory-maps it instead of
+        materializing per-shard ``.npz`` arrays; pages fault in lazily as
+        queries actually scan shards.  ``manifest.json`` records the block
+        layout plus the JSON-only metadata (ids, texts, category table,
+        day ranges).
+
+        ``version=2`` writes the legacy layout (self-contained
+        :meth:`VectorStore.save` archives per shard) for interop with
+        older readers; :meth:`load` reads versions 1–3.
+
+        Accepts ``str`` or :class:`pathlib.Path`.
         """
+        path = os.fspath(path)
         os.makedirs(path, exist_ok=True)
+        if version == 2:
+            shards_meta = []
+            for key in sorted(self._shards):
+                shard = self._shards[key]
+                filename = f"shard-{key}.npz"
+                shard.store.save(os.path.join(path, filename))
+                shards_meta.append(
+                    {
+                        "key": key,
+                        "file": filename,
+                        "seqs": shard.seqs,
+                        "start_day": shard.start_day,
+                        "end_day": shard.end_day,
+                    }
+                )
+            manifest = {
+                "format": "sharded-vector-index",
+                "version": 2,
+                "window_days": self.window_days,
+                "next_seq": self._next_seq,
+                "next_shard_key": self._next_shard_key,
+                "shards": shards_meta,
+            }
+            with open(
+                os.path.join(path, SHARDED_MANIFEST), "w", encoding="utf-8"
+            ) as handle:
+                json.dump(manifest, handle)
+            return
+        if version != 3:
+            raise ValueError(f"unsupported manifest version: {version!r}")
+        payloads = []
+        for key in sorted(self._shards):
+            data = self._shards[key].data()
+            q8, qscale, ql1 = data.quant()
+            payloads.append(
+                (key, {
+                    "matrix": data.matrix, "days": data.days,
+                    "sq_norms": data.sq_norms, "seqs": data.seqs,
+                    "codes": data.codes, "q8": q8, "qscale": qscale,
+                    "ql1": ql1,
+                })
+            )
+        arena = ShardArena.build(
+            payloads, kind="file", path=os.path.join(path, ARENA_FILENAME)
+        )
+        blocks_meta = [
+            {
+                "key": block.key,
+                "rows": block.rows,
+                "dim": block.dim,
+                "offsets": [[name, offset] for name, offset in block.offsets],
+            }
+            for block in arena.spec.blocks
+        ]
+        arena_size = arena.spec.size
+        arena.close()
+        code_to_name = {code: name for name, code in self._cat_code.items()}
         shards_meta = []
         for key in sorted(self._shards):
             shard = self._shards[key]
-            filename = f"shard-{key}.npz"
-            shard.store.save(os.path.join(path, filename))
             shards_meta.append(
                 {
                     "key": key,
-                    "file": filename,
-                    "seqs": shard.seqs,
                     "start_day": shard.start_day,
                     "end_day": shard.end_day,
+                    "min_day": shard.min_day,
+                    "max_day": shard.max_day,
+                    "ids": [entry.incident_id for entry in shard.store],
+                    "texts": [entry.text for entry in shard.store],
                 }
             )
         manifest = {
             "format": "sharded-vector-index",
-            "version": 2,
+            "version": 3,
             "window_days": self.window_days,
             "next_seq": self._next_seq,
             "next_shard_key": self._next_shard_key,
+            "dim": self._dim,
+            "categories": [code_to_name[code] for code in range(len(code_to_name))],
+            "arena": {
+                "file": ARENA_FILENAME,
+                "size": arena_size,
+                "blocks": blocks_meta,
+            },
             "shards": shards_meta,
         }
         with open(os.path.join(path, SHARDED_MANIFEST), "w", encoding="utf-8") as handle:
@@ -1388,18 +2068,23 @@ class ShardedVectorIndex:
     @classmethod
     def load(
         cls,
-        path: str,
+        path,
         similarity: Optional[SimilarityConfig] = None,
         max_workers: Optional[int] = None,
         compaction: Optional[CompactionPolicy] = None,
+        scoring_backend: str = "thread",
+        quantized_prefilter: bool = False,
     ) -> "ShardedVectorIndex":
         """Re-open an index written by :meth:`save`.
 
-        Reads both manifest versions: version 2 records each shard's
-        routing day range (compacted layouts); version 1 predates
-        compaction and derives the range from the shard key and window
-        width.
+        Reads all three manifest versions: version 3 memory-maps the
+        ``arena.bin`` payload (shard arrays are views into the mapping,
+        zero copies; stores go copy-on-grow on the first subsequent
+        insert); version 2 records each shard's routing day range
+        (compacted layouts); version 1 predates compaction and derives the
+        range from the shard key and window width.
         """
+        path = os.fspath(path)
         with open(os.path.join(path, SHARDED_MANIFEST), "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
         if manifest.get("format") != "sharded-vector-index":
@@ -1409,28 +2094,90 @@ class ShardedVectorIndex:
             window_days=float(manifest["window_days"]),
             max_workers=max_workers,
             compaction=compaction,
+            scoring_backend=scoring_backend,
+            quantized_prefilter=quantized_prefilter,
         )
-        for meta in manifest["shards"]:
-            key = int(meta["key"])
-            store = VectorStore.load(os.path.join(path, meta["file"]))
-            shard = _Shard(
-                key,
-                index._similarity,
-                start_day=float(meta.get("start_day", key * index.window_days)),
-                end_day=float(meta.get("end_day", (key + 1) * index.window_days)),
+        if int(manifest.get("version", 1)) >= 3:
+            # Seed the category code table in the exact order it was saved
+            # so stored per-row codes stay valid.
+            table = list(manifest["categories"])
+            for name in table:
+                index._code_for(name)
+            blocks = tuple(
+                BlockSpec(
+                    key=int(meta["key"]),
+                    rows=int(meta["rows"]),
+                    dim=int(meta["dim"]),
+                    offsets=tuple(
+                        (str(name), int(offset)) for name, offset in meta["offsets"]
+                    ),
+                )
+                for meta in manifest["arena"]["blocks"]
             )
-            shard.store = store
-            shard.search = NearestNeighborSearch(store, index._similarity)
-            shard.seqs = [int(seq) for seq in meta["seqs"]]
-            for entry in store:
-                shard.cat_codes.append(index._code_for(entry.category))
-                shard.cat_counts[entry.category] += 1
-                shard.min_day = min(shard.min_day, entry.created_day)
-                shard.max_day = max(shard.max_day, entry.created_day)
-                index._locator[entry.incident_id] = key
-            index._shards[key] = shard
-            if store.dim is not None:
-                index._dim = store.dim
+            spec = ArenaSpec(
+                kind="file",
+                name=os.path.abspath(os.path.join(path, manifest["arena"]["file"])),
+                size=int(manifest["arena"]["size"]),
+                blocks=blocks,
+            )
+            arena = ShardArena.attach(spec)
+            for meta in manifest["shards"]:
+                key = int(meta["key"])
+                views = arena.views(key)
+                codes = [int(code) for code in views["codes"]]
+                categories = [table[code] for code in codes]
+                store = VectorStore.wrap(
+                    matrix=views["matrix"],
+                    created_days=views["days"],
+                    sq_norms=views["sq_norms"],
+                    incident_ids=meta["ids"],
+                    categories=categories,
+                    texts=meta["texts"],
+                )
+                shard = _Shard(
+                    key,
+                    index._similarity,
+                    start_day=float(meta["start_day"]),
+                    end_day=float(meta["end_day"]),
+                )
+                shard.store = store
+                shard.seqs = [int(seq) for seq in views["seqs"]]
+                shard.cat_codes = codes
+                shard.cat_counts = Counter(categories)
+                shard.min_day = float(meta["min_day"])
+                shard.max_day = float(meta["max_day"])
+                for incident_id in meta["ids"]:
+                    index._locator[incident_id] = key
+                index._shards[key] = shard
+                if store.dim is not None:
+                    index._dim = store.dim
+            if index._dim is None and manifest.get("dim") is not None:
+                index._dim = int(manifest["dim"])
+            # Keep the mapping referenced for the index lifetime; destroy()
+            # on a file-kind arena only drops the mapping, never the file.
+            index._arena = arena
+            index._arena_epoch = index._epoch
+        else:
+            for meta in manifest["shards"]:
+                key = int(meta["key"])
+                store = VectorStore.load(os.path.join(path, meta["file"]))
+                shard = _Shard(
+                    key,
+                    index._similarity,
+                    start_day=float(meta.get("start_day", key * index.window_days)),
+                    end_day=float(meta.get("end_day", (key + 1) * index.window_days)),
+                )
+                shard.store = store
+                shard.seqs = [int(seq) for seq in meta["seqs"]]
+                for entry in store:
+                    shard.cat_codes.append(index._code_for(entry.category))
+                    shard.cat_counts[entry.category] += 1
+                    shard.min_day = min(shard.min_day, entry.created_day)
+                    shard.max_day = max(shard.max_day, entry.created_day)
+                    index._locator[entry.incident_id] = key
+                index._shards[key] = shard
+                if store.dim is not None:
+                    index._dim = store.dim
         index._next_seq = int(manifest["next_seq"])
         index._next_shard_key = int(manifest.get("next_shard_key", 0))
         index._rebuild_ranges()
@@ -1444,8 +2191,8 @@ class ShardedVectorIndex:
         the index lifetime: the fraction of (query, shard) and (query, entry)
         pairs that were actually scored rather than skipped or pruned.  All
         counters are accumulated on the thread calling ``search_many`` —
-        worker threads only extract candidates and return them by value —
-        so parallel and sequential scans report identical numbers.
+        workers only extract candidates and return them by value — so
+        parallel and sequential scans report identical numbers.
         """
         sizes = sorted(len(shard.store) for shard in self._shards.values())
         return {

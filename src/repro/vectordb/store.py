@@ -237,6 +237,49 @@ class VectorStore:
             self._sq_norms_size = size
         return self._sq_norms[:size]
 
+    @classmethod
+    def wrap(
+        cls,
+        matrix: np.ndarray,
+        created_days: np.ndarray,
+        sq_norms: np.ndarray,
+        incident_ids: Sequence[str],
+        categories: Sequence[str],
+        texts: Sequence[str],
+    ) -> "VectorStore":
+        """Adopt externally owned row arrays without copying them.
+
+        The zero-copy load path: ``matrix`` / ``created_days`` /
+        ``sq_norms`` (typically memory-mapped arena views) become the
+        store's backing buffers directly, and every entry's ``vector`` is a
+        view into ``matrix``.  Capacity equals the row count, so the first
+        subsequent insert re-allocates into a private (writable) buffer —
+        copy-on-grow semantics that keep read-only mappings safe.
+        """
+        rows = int(matrix.shape[0])
+        if not (rows == len(created_days) == len(sq_norms)
+                == len(incident_ids) == len(categories) == len(texts)):
+            raise ValueError("wrapped arrays and metadata must align")
+        store = cls(dim=int(matrix.shape[1]) if rows else None)
+        if rows == 0:
+            return store
+        store._matrix = matrix
+        store._days = created_days
+        store._sq_norms = sq_norms
+        store._sq_norms_size = rows
+        for row in range(rows):
+            store._by_id[incident_ids[row]] = row
+            store._entries.append(
+                VectorEntry(
+                    incident_id=incident_ids[row],
+                    vector=matrix[row],
+                    created_day=float(created_days[row]),
+                    category=categories[row],
+                    text=texts[row],
+                )
+            )
+        return store
+
     # ------------------------------------------------------------- persistence
     def save(self, path: str) -> None:
         """Persist the store to ``path`` (``.npz``: vectors + JSON metadata)."""
@@ -250,6 +293,7 @@ class VectorStore:
                 for entry in self._entries
             ]
         )
+        path = os.fspath(path)
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         np.savez_compressed(
@@ -261,7 +305,12 @@ class VectorStore:
 
     @classmethod
     def load(cls, path: str) -> "VectorStore":
-        """Load a store previously written by :meth:`save`."""
+        """Load a store previously written by :meth:`save`.
+
+        Accepts either a ``str`` or a :class:`pathlib.Path` (anything
+        implementing ``__fspath__``), matching what :meth:`save` accepts.
+        """
+        path = os.fspath(path)
         if not path.endswith(".npz"):
             path = path + ".npz"
         with np.load(path, allow_pickle=False) as archive:

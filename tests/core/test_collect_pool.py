@@ -246,6 +246,35 @@ class TestProcessSerialization:
             thread_results = thread_pool.run(alerts, reserved_ids(thread_stage, 2))
         assert all(r.ok for r in thread_results)
 
+    def test_hub_blob_created_once_reused_and_destroyed(self):
+        """The (hub, config) snapshot is one shared segment per pool life.
+
+        Created lazily with the first process executor, reused verbatim by
+        executors rebuilt after a discard (crash / resize path), and
+        unlinked by close() so /dev/shm is left clean.
+        """
+        stage = build_stage()
+        pool = CollectionPool(stage, workers=2, backend="process")
+        assert pool._hub_blob is None  # noqa: SLF001 - lazy
+        with pool:
+            alerts = [stu.make_stream_alert(i) for i in range(2)]
+            results = pool.run(alerts, reserved_ids(stage, 2))
+            assert all(r.ok for r in results)
+            blob = pool._hub_blob  # noqa: SLF001
+            assert blob is not None
+            # Rebuild the executor: the snapshot segment is reused, not
+            # re-pickled.
+            pool._discard_executor()  # noqa: SLF001
+            more = [stu.make_stream_alert(10 + i) for i in range(2)]
+            results = pool.run(more, reserved_ids(stage, 2))
+            assert all(r.ok for r in results)
+            assert pool._hub_blob is blob  # noqa: SLF001
+        assert pool._hub_blob is None  # noqa: SLF001 - destroyed by close()
+        import os
+
+        if os.path.isdir("/dev/shm"):
+            assert blob.spec.name not in os.listdir("/dev/shm")
+
     def test_handler_cache_rebuilds_once_per_version(self):
         handler = stu.stream_test_registry().match(stu.SLEEPY_TYPE)
         doc = handler_to_dict(handler)

@@ -241,6 +241,79 @@ class TestCompactionBehaviour:
             sharded.search_many(queries, query_days),
         )
 
+    def test_incremental_budget_defers_and_eventually_drains(self):
+        """A rewrite budget caps per-pass work; repeated passes converge.
+
+        With ``max_rewrite_shards`` set, one ``compact`` call rewrites at
+        most that many source shards, reports the backlog via
+        ``shards_deferred``, and never changes search results mid-way.
+        """
+        similarity = SimilarityConfig(alpha=0.3, k=4)
+        index = ShardedVectorIndex(similarity, window_days=WINDOW)
+        ids, vectors, days, categories = skewed_corpus(total=3_000)
+        index.add_many(ids, vectors, days, categories)
+
+        reference = ShardedVectorIndex(similarity, window_days=WINDOW)
+        reference.add_many(ids, vectors, days, categories)
+        reference.compact(min_entries=60, max_entries=240)
+
+        rng = np.random.default_rng(17)
+        queries = rng.standard_normal((6, DIM))
+        query_days = rng.uniform(0.0, 760.0, size=6)
+        expected = reference.search_many(queries, query_days)
+
+        report = index.compact(
+            min_entries=60, max_entries=240, max_rewrite_shards=2
+        )
+        assert report["shards_deferred"] > 0
+        # Mid-drain the layout differs but results never do.
+        assert_same_results(expected, index.search_many(queries, query_days))
+
+        rounds = 1
+        while report["shards_deferred"] > 0:
+            report = index.compact(
+                min_entries=60, max_entries=240, max_rewrite_shards=2
+            )
+            rounds += 1
+            assert rounds < 100, "budgeted compaction failed to converge"
+        assert rounds > 1
+        # Drained: an unbudgeted pass finds nothing left to rewrite, and the
+        # layout honours the same bounds the one-shot reference achieved.
+        final = index.compact(min_entries=60, max_entries=240)
+        assert final["shards_split"] + final["shards_merged"] == 0
+        assert max(index.shard_sizes().values()) <= 240
+        assert sum(index.shard_sizes().values()) == len(ids)
+        assert_same_results(expected, index.search_many(queries, query_days))
+
+    def test_budget_policy_validation_and_auto_reprime(self):
+        """Policy validates the budget; auto passes re-arm when deferred."""
+        with pytest.raises(ValueError):
+            CompactionPolicy(max_rewrite_shards=0)
+        similarity = SimilarityConfig(alpha=0.3, k=3)
+        policy = CompactionPolicy(
+            min_entries=10,
+            max_entries=40,
+            auto=True,
+            check_every=100,
+            max_rewrite_shards=2,
+        )
+        index = ShardedVectorIndex(similarity, window_days=5.0, compaction=policy)
+        rng = np.random.default_rng(19)
+        # All 600 entries land in just six 5-day windows, so every shard
+        # blows past the 40-entry ceiling and the 2-shard budget cannot
+        # clear the backlog in one pass — deferral must re-arm the trigger.
+        for start in range(0, 600, 50):
+            index.add_many(
+                [f"i{start + i}" for i in range(50)],
+                rng.standard_normal((50, 4)),
+                rng.uniform(0.0, 30.0, size=50),
+                ["A", "B"] * 25,
+            )
+        # The tiny budget forces many auto passes instead of one big one.
+        assert index.stats()["compactions"] >= 2.0
+        sizes = index.shard_sizes().values()
+        assert sum(sizes) == 600
+
     def test_auto_trigger_policy(self):
         similarity = SimilarityConfig(alpha=0.3, k=3)
         policy = CompactionPolicy(
@@ -278,12 +351,17 @@ class TestCompactionPersistence:
         with open(os.path.join(target, "manifest.json"), encoding="utf-8") as handle:
             manifest = json.load(handle)
         assert manifest["format"] == "sharded-vector-index"
-        assert manifest["version"] == 2
+        assert manifest["version"] == 3
+        # v3 packs every shard into one mmap-able arena file; no per-shard
+        # .npz archives are written.
+        assert os.path.exists(os.path.join(target, manifest["arena"]["file"]))
+        assert not [
+            name for name in os.listdir(target) if name.endswith(".npz")
+        ]
         total_rows = 0
         for meta in manifest["shards"]:
             assert meta["start_day"] < meta["end_day"]
-            assert os.path.exists(os.path.join(target, meta["file"]))
-            total_rows += len(meta["seqs"])
+            total_rows += len(meta["ids"])
         assert total_rows == len(index)
 
         loaded = ShardedVectorIndex.load(target, similarity=similarity)
@@ -300,6 +378,32 @@ class TestCompactionPersistence:
         # Post-load inserts route into the restored compacted ranges.
         loaded.add("fresh", rng.standard_normal(DIM), 100.0, "Fresh")
         assert "fresh" in loaded
+
+    def test_version_2_save_roundtrip(self, tmp_path):
+        """``save(version=2)`` keeps emitting the per-shard .npz layout."""
+        similarity = SimilarityConfig(alpha=0.3, k=5)
+        index = ShardedVectorIndex(similarity, window_days=WINDOW)
+        ids, vectors, days, categories = skewed_corpus(total=800)
+        index.add_many(ids, vectors, days, categories)
+        target = str(tmp_path / "legacy-index")
+        index.save(target, version=2)
+
+        with open(os.path.join(target, "manifest.json"), encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["version"] == 2
+        for meta in manifest["shards"]:
+            assert os.path.exists(os.path.join(target, meta["file"]))
+
+        loaded = ShardedVectorIndex.load(target, similarity=similarity)
+        assert len(loaded) == len(index)
+        assert loaded.shard_sizes() == index.shard_sizes()
+        rng = np.random.default_rng(33)
+        queries = rng.standard_normal((4, DIM))
+        query_days = rng.uniform(0.0, 760.0, size=4)
+        assert_same_results(
+            index.search_many(queries, query_days),
+            loaded.search_many(queries, query_days),
+        )
 
     def test_load_index_forwards_runtime_knobs(self, tmp_path):
         """The dispatching loader restores max_workers and the policy.
@@ -339,7 +443,7 @@ class TestCompactionPersistence:
             [f"c{i % 4}" for i in range(60)],
         )
         target = str(tmp_path / "v1-index")
-        index.save(target)
+        index.save(target, version=2)
         manifest_path = os.path.join(target, "manifest.json")
         with open(manifest_path, encoding="utf-8") as handle:
             manifest = json.load(handle)

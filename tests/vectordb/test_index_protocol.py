@@ -302,11 +302,12 @@ class TestPersistence:
         np.testing.assert_allclose(loaded.squared_norms(), [25.0, 1.0, 8.0])
 
     def test_sharded_roundtrip_with_independent_shard_files(self, tmp_path):
+        """The legacy v2 layout (one .npz per shard) still round-trips."""
         similarity = SimilarityConfig(alpha=0.3, k=4)
         sharded = populated(ShardedVectorIndex(similarity, window_days=20.0))
         sharded.update_category("i11", "Rewritten")
         target = str(tmp_path / "sharded-index")
-        sharded.save(target)
+        sharded.save(target, version=2)
         files = sorted(os.listdir(target))
         assert "manifest.json" in files
         shard_files = [name for name in files if name.startswith("shard-")]
@@ -323,6 +324,65 @@ class TestPersistence:
         # New inserts keep working post-load (sequence numbers continue).
         loaded.add("fresh", rng.standard_normal(8), 130.0, "Fresh")
         assert "fresh" in loaded
+
+    def test_sharded_v3_arena_roundtrip(self, tmp_path):
+        """The default save is the v3 single-arena layout and round-trips."""
+        similarity = SimilarityConfig(alpha=0.3, k=4)
+        sharded = populated(ShardedVectorIndex(similarity, window_days=20.0))
+        sharded.update_category("i11", "Rewritten")
+        target = str(tmp_path / "arena-index")
+        sharded.save(target)
+        files = sorted(os.listdir(target))
+        assert files == ["arena.bin", "manifest.json"]
+        loaded = ShardedVectorIndex.load(target, similarity=similarity)
+        assert len(loaded) == len(sharded)
+        assert loaded.get("i11").category == "Rewritten"
+        assert loaded.shard_sizes() == sharded.shard_sizes()
+        rng = np.random.default_rng(21)
+        queries = rng.standard_normal((5, 8))
+        days = rng.uniform(0.0, 140.0, size=5)
+        assert_same_results(
+            sharded.search_many(queries, days), loaded.search_many(queries, days)
+        )
+        # The mmap'd matrices are copy-on-grow: post-load inserts still work.
+        loaded.add("fresh", rng.standard_normal(8), 130.0, "Fresh")
+        assert "fresh" in loaded
+        assert_same_results(
+            sharded.search_many(queries, days, exclude_ids=[{"fresh"}] * 5),
+            loaded.search_many(queries, days, exclude_ids=[{"fresh"}] * 5),
+        )
+        loaded.close()
+
+    def test_store_and_index_accept_pathlib_paths(self, tmp_path):
+        """Satellite: every save/load entry point takes ``pathlib.Path``."""
+        store = VectorStore()
+        rng = np.random.default_rng(15)
+        store.add_many(
+            incident_ids=[f"i{i}" for i in range(12)],
+            vectors=rng.standard_normal((12, 4)),
+            created_days=[float(i) for i in range(12)],
+            categories=[f"cat{i % 3}" for i in range(12)],
+        )
+        store_path = tmp_path / "store.npz"  # a Path, not a str
+        store.save(store_path)
+        loaded_store = VectorStore.load(store_path)
+        assert len(loaded_store) == 12
+        np.testing.assert_array_equal(loaded_store.matrix(), store.matrix())
+        # ...and without the .npz suffix (the legacy str path appended it).
+        assert len(VectorStore.load(tmp_path / "store")) == 12
+
+        similarity = SimilarityConfig(alpha=0.3, k=3)
+        sharded = populated(ShardedVectorIndex(similarity, window_days=20.0), count=50)
+        index_path = tmp_path / "path-index"
+        sharded.save(index_path)
+        reloaded = load_index(index_path, similarity=similarity)
+        assert isinstance(reloaded, ShardedVectorIndex)
+        assert len(reloaded) == 50
+        query = rng.standard_normal(8)
+        assert_same_results(
+            [sharded.search(query, 60.0)], [reloaded.search(query, 60.0)]
+        )
+        reloaded.close()
 
     def test_load_index_dispatches_on_layout(self, tmp_path):
         similarity = SimilarityConfig(alpha=0.3, k=3)
