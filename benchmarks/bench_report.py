@@ -73,6 +73,18 @@ METRICS: List[Tuple[str, str, str, object]] = [
     ),
     (
         "throughput",
+        "pipelined vs barrier ingest speedup",
+        "BENCH_throughput.json",
+        lambda p: _get(p, "pipeline", "speedup"),
+    ),
+    (
+        "throughput",
+        "pipelined ingest overlap seconds",
+        "BENCH_throughput.json",
+        lambda p: _get(p, "pipeline", "overlap_seconds"),
+    ),
+    (
+        "throughput",
         "autoscaled wall vs best static (bursty)",
         "BENCH_throughput.json",
         lambda p: _get(p, "bursty_autoscale", "autoscaled", "wall_ratio_vs_best_static"),

@@ -309,6 +309,150 @@ def test_collect_bound_ingest_worker_pool(collect_bound_soak):
     )
 
 
+# ---------------------------------------------------------------- pipelined
+#: Balanced two-stage profile: 25ms simulated I/O per collect (pooled over
+#: 2 workers: ~100ms per 8-alert wave) against an LLM-bound prediction
+#: phase of comparable wall time, so each stage can hide most of the other
+#: and the double-buffered pipeline's overlap is what the wall clock
+#: measures.  ``--pipeline`` doubles the stream length.
+PIPELINE_ALERTS = 48
+PIPELINE_SOAK_ALERTS = 96
+PIPELINE_MAX_BATCH = 8
+PIPELINE_WORKERS = 2
+PIPELINE_DEPTH = 2
+PIPELINE_CHUNK = 4
+PREDICT_SLEEP_SECONDS = 0.006
+
+
+class _SlowModel:
+    """A :class:`SimulatedLLM` with fixed per-completion latency.
+
+    The sleep stands in for a remote LLM endpoint's response time; it
+    releases the GIL, so a prediction phase built on this model genuinely
+    overlaps with collection sleeps on other threads.  Deterministic
+    (``noise = 0``), so the pipelined run must reproduce the barrier run's
+    labels exactly.  No ``complete_many``: the predictor's sequential
+    fallback charges the latency once per distinct completion.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        self._inner = SimulatedLLM()
+        self.name = self._inner.name
+        self.noise = 0.0
+        self.seconds = seconds
+
+    def complete(self, messages, temperature: float = 0.0):
+        time.sleep(self.seconds)
+        return self._inner.complete(messages, temperature=temperature)
+
+
+def _pipeline_copilot() -> RCACopilot:
+    """An indexed copilot with a 25ms collect handler and a slow LLM."""
+    registry = HandlerRegistry()
+    registry.register(
+        linear_handler(
+            "CollectBound",
+            "collect-bound",
+            [
+                QueryAction(
+                    "slow_probe",
+                    source="metrics",
+                    metric_names=["delivery_queue_length"],
+                    classify=_bench_sleep_classifier,
+                ),
+                QueryAction("recent_events", source="events"),
+            ],
+        )
+    )
+    corpus = generate_corpus(
+        total_incidents=160, total_categories=45, seed=71, duration_days=180.0
+    )
+    train, _ = corpus.chronological_split(0.75)
+    copilot = RCACopilot(
+        TelemetryHub(), registry=registry, model=_SlowModel(PREDICT_SLEEP_SECONDS)
+    )
+    copilot.index_history(train)
+    return copilot
+
+
+def _pipeline_ingest(copilot: RCACopilot, alerts, depth, chunk) -> tuple:
+    """(wall seconds, labels, overlap seconds) for one pipeline shape."""
+    ingestor = copilot.stream(
+        IngestConfig(
+            max_batch=PIPELINE_MAX_BATCH,
+            max_latency_seconds=5.0,
+            collect_workers=PIPELINE_WORKERS,
+            pipeline_depth=depth,
+            predict_chunk_size=chunk,
+        )
+    )
+    ingestor.submit_many(alerts)
+    started = time.perf_counter()
+    reports = ingestor.flush()
+    seconds = time.perf_counter() - started
+    ingestor.stop()
+    assert len(reports) == len(alerts)
+    overlap = ingestor.stats_dict()["pipeline_overlap_seconds"]
+    return seconds, [r.predicted_label for r in reports], overlap
+
+
+def test_pipelined_ingest_vs_barrier(pipeline_soak):
+    """Double-buffered ingest is >= 1.3x barrier wall clock on a balanced stream.
+
+    The barrier run pays collect + predict per wave; the pipelined run
+    hides each wave's collection behind the previous wave's LLM-bound
+    prediction (and chunk-overlaps retrieval inside the prediction phase),
+    so the wall clock approaches max(collect, predict) per wave instead of
+    their sum.  Labels must match the barrier run exactly — the parity the
+    pipeline contract guarantees.
+    """
+    count = PIPELINE_SOAK_ALERTS if pipeline_soak else PIPELINE_ALERTS
+    copilot = _pipeline_copilot()
+    barrier_copilot = copy.deepcopy(copilot)
+    pipelined_copilot = copy.deepcopy(copilot)
+    # Untimed warm-up so neither path pays first-touch costs.
+    barrier_copilot.observe(_collect_bound_alerts(1)[0])
+    pipelined_copilot.observe(_collect_bound_alerts(1)[0])
+
+    barrier_seconds, barrier_labels, _ = _pipeline_ingest(
+        barrier_copilot, _collect_bound_alerts(count), 1, None
+    )
+    pipelined_seconds, pipelined_labels, overlap = _pipeline_ingest(
+        pipelined_copilot, _collect_bound_alerts(count), PIPELINE_DEPTH, PIPELINE_CHUNK
+    )
+    assert pipelined_labels == barrier_labels
+    speedup = barrier_seconds / pipelined_seconds
+    print()
+    print(
+        f"pipelined ingest ({count} alerts, {COLLECT_SLEEP_SECONDS * 1000:.0f}ms "
+        f"collect, {PREDICT_SLEEP_SECONDS * 1000:.0f}ms per completion): "
+        f"barrier {barrier_seconds:.2f}s, pipelined {pipelined_seconds:.2f}s "
+        f"({speedup:.2f}x, {overlap:.2f}s overlapped)"
+    )
+    merged = read_results("BENCH_throughput.json")
+    merged.setdefault("benchmark", "throughput_batch")
+    merged["pipeline"] = {
+        "alerts": count,
+        "collect_workers": PIPELINE_WORKERS,
+        "pipeline_depth": PIPELINE_DEPTH,
+        "predict_chunk_size": PIPELINE_CHUNK,
+        "collect_sleep_seconds": COLLECT_SLEEP_SECONDS,
+        "predict_sleep_seconds": PREDICT_SLEEP_SECONDS,
+        "soak": bool(pipeline_soak),
+        "cores": os.cpu_count() or 1,
+        "barrier_seconds": barrier_seconds,
+        "pipelined_seconds": pipelined_seconds,
+        "overlap_seconds": overlap,
+        "speedup": speedup,
+    }
+    path = write_results("BENCH_throughput.json", merged)
+    print(f"machine-readable results: {path}")
+    assert speedup >= 1.3, (
+        f"the double-buffered pipeline must be >= 1.3x barrier wall clock "
+        f"on a balanced collect/predict stream, got {speedup:.2f}x"
+    )
+
+
 # ------------------------------------------------------------ bursty arrival
 #: Bursty-arrival profile: alternating collect-bound bursts and idle
 #: trickles.  The autoscaled pool must stay within 1.2x of the best static

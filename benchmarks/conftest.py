@@ -44,6 +44,16 @@ def pytest_addoption(parser):
         ),
     )
     parser.addoption(
+        "--pipeline",
+        action="store_true",
+        default=False,
+        help=(
+            "run the pipelined-ingest profile (bench_throughput_batch.py) "
+            "at soak scale; without the flag it runs a shorter stream with "
+            "the same >= 1.3x speedup assertion"
+        ),
+    )
+    parser.addoption(
         "--process",
         action="store_true",
         default=False,
@@ -67,6 +77,12 @@ def quick_mode(request):
 def collect_bound_soak(request):
     """True when the collect-bound ingest profile should run at soak scale."""
     return bool(request.config.getoption("--collect-bound", default=False))
+
+
+@pytest.fixture(scope="session")
+def pipeline_soak(request):
+    """True when the pipelined-ingest profile should run at soak scale."""
+    return bool(request.config.getoption("--pipeline", default=False))
 
 
 @pytest.fixture(scope="session")

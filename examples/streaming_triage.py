@@ -12,6 +12,10 @@ Demonstrates the streaming deployment shape of RCACopilot:
    batch's collection phase (handler action graphs) fans out to a worker
    pool (``collect_workers``) while prediction stays batched — outcomes
    fold back in submission order, so reports are identical to serial;
+   with ``pipeline_depth=2`` the two phases run as a double-buffered
+   pipeline (wave N+1 collects while wave N predicts) and
+   ``predict_chunk_size`` overlaps retrieval with LLM calls inside the
+   prediction phase, both without changing a single report or counter;
 3. inject faults and submit each detected alert as it appears — exactly
    how an always-on deployment receives monitors' output;
 4. fold an on-call engineer's confirmed label back in *mid-stream* and
@@ -76,6 +80,13 @@ def main() -> None:
                 hysteresis_batches=1,
                 cooldown_seconds=0.0,
             ),
+            # Double-buffered ingestion: wave N+1's collection overlaps
+            # wave N's (strictly serialized) prediction, and inside each
+            # prediction the next chunk's retrieval overlaps the current
+            # chunk's LLM calls.  Reports, feedback visibility, and every
+            # ingest counter are identical to barrier execution.
+            pipeline_depth=2,
+            predict_chunk_size=2,
         ),
     )
     copilot = RCACopilot(service.hub, config=config)
@@ -159,6 +170,13 @@ def main() -> None:
         f"predict {predict_seconds * 1000:.1f}ms)"
     )
     flat = ingestor.stats_dict()
+    print(
+        f"pipeline: {flat['pipeline_overlap_seconds'] * 1000:.1f}ms of "
+        f"collect/predict overlap (collect busy "
+        f"{flat['collect_busy_fraction']:.0%}, predict busy "
+        f"{flat['predict_busy_fraction']:.0%} of the stream's span; "
+        f"{int(flat['predict_inflight'])} prediction(s) still in flight)"
+    )
     print(
         f"autoscaler: pool now {int(flat['autoscale_pool_size'])} worker(s) in "
         f"[{int(flat['autoscale_pool_min'])}, {int(flat['autoscale_pool_max'])}], "

@@ -93,10 +93,12 @@ class PoolAutoscaler:
 
     The owning :class:`~repro.core.streaming.StreamIngestor` calls
     :meth:`before_batch` just before a micro-batch's collection phase and
-    :meth:`observe` just after its prediction phase, both under the
-    ingestion lock; each returns the target pool size, and the ingestor
-    applies any change through :meth:`CollectionPool.resize` — so every
-    resize happens at a batch boundary with the pool idle.
+    :meth:`observe` after its prediction phase (pipelined execution calls
+    it at the next collect boundary, feeding the last *completed*
+    prediction's timings), both serialized with batch collection; each
+    returns the target pool size, and the ingestor applies any change
+    through :meth:`CollectionPool.resize` — so every resize happens at a
+    collect boundary with the pool idle.
     """
 
     def __init__(
@@ -148,6 +150,7 @@ class PoolAutoscaler:
         queue_depth: int,
         collect_seconds: float = 0.0,
         predict_seconds: float = 0.0,
+        overlap_seconds: float = 0.0,
     ) -> int:
         """Post-batch decision from the batch's measured signals.
 
@@ -155,16 +158,22 @@ class PoolAutoscaler:
         batch whose wall time is dominated by prediction gains nothing from
         more collection workers, so growth additionally requires the
         collection phase to be at least as long as the prediction phase
-        (unless neither was measured).
+        (unless neither was measured).  Under pipelined execution the
+        prediction phase partially hides behind later collections;
+        ``overlap_seconds`` carries that hidden portion so only the
+        *exposed* prediction time counts against growth — a fully
+        overlapped predict phase costs no wall clock and must not stop the
+        pool from scaling to the collect load.
         """
         alpha = self.policy.ewma_alpha
         if self.ewma is None:
             self.ewma = utilization
         else:
             self.ewma = alpha * utilization + (1.0 - alpha) * self.ewma
+        exposed_predict = max(predict_seconds - overlap_seconds, 0.0)
         collect_bound = (
-            collect_seconds >= predict_seconds
-            if (collect_seconds > 0.0 or predict_seconds > 0.0)
+            collect_seconds >= exposed_predict
+            if (collect_seconds > 0.0 or exposed_predict > 0.0)
             else True
         )
         if self.ewma >= self.policy.high_utilization and collect_bound:

@@ -170,6 +170,12 @@ class CollectionPool:
         self._retired: List[Executor] = []
         #: Scale events applied to this pool (grow + shrink + rebuilds).
         self.resize_events = 0
+        #: Collect waves currently inside :meth:`run`.  Under pipelined
+        #: ingestion the *prediction* of an earlier wave may still be in
+        #: flight while the pool sits at a collect boundary — this counter
+        #: is what lets :meth:`resize` tell "collect idle" (safe) apart
+        #: from "fully idle", and is exported to the autoscaler's caller.
+        self.inflight_waves = 0
         #: Σ pool_size × wave wall time: the capacity paid for, whether or
         #: not it was used.  The autoscaling benchmark's economy metric.
         self.worker_seconds = 0.0
@@ -186,11 +192,12 @@ class CollectionPool:
         return 0 if self.workers is None else self.workers
 
     def resize(self, workers: int) -> None:
-        """Change the worker count; callers must be at a batch boundary.
+        """Change the worker count; callers must be at a collect boundary.
 
         Only valid between :meth:`run` calls (the stream ingestor resizes
-        under its ingestion lock, after one micro-batch and before the
-        next), so no task is ever in flight across a resize.  Growing a
+        under its collection lock, after one wave's collection and before
+        the next), so no task is ever in flight across a resize — enforced
+        via :attr:`inflight_waves`.  Growing a
         thread pool is in-place — :class:`ThreadPoolExecutor` spawns
         threads lazily up to its ceiling, so raising the ceiling suffices.
         Shrinking a thread pool, and any resize of a process pool, retires
@@ -202,6 +209,11 @@ class CollectionPool:
             raise ValueError("workers must be positive")
         if self.workers is None:
             raise RuntimeError("cannot resize a serial pool")
+        if self.inflight_waves:
+            raise RuntimeError(
+                "cannot resize the collection pool while a collect wave is "
+                "in flight (resizes belong at collect boundaries)"
+            )
         if workers == self.workers:
             return
         growing = workers > self.workers
@@ -240,9 +252,11 @@ class CollectionPool:
         # long-lived stream whose autoscaler flaps.
         self._prune_retired()
         wave_started = self.clock.monotonic()
+        self.inflight_waves += 1
         try:
             return self._run_wave(alerts, incident_ids)
         finally:
+            self.inflight_waves -= 1
             lanes = self.workers if self.workers else 1
             self.worker_seconds += lanes * (self.clock.monotonic() - wave_started)
 

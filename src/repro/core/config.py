@@ -150,6 +150,18 @@ class IngestConfig:
     are folded back in submission order before the single batched
     ``predict_many`` call, so reports, feedback routing, and ingest counters
     are identical to the serial path.
+
+    With ``pipeline_depth`` >= 2 the two phases run as a double-buffered
+    pipeline: while wave N's prediction runs on a dedicated single-slot
+    prediction executor, the flushing thread already collects wave N+1 on
+    the worker pool.  Predictions stay strictly serialized in submission
+    order (wave N's feedback/index updates commit before wave N+1's
+    prediction reads the index), so reports, feedback effects, and ingest
+    counters remain value-identical to the barrier execution — the pipeline
+    only removes the inter-wave stall.  ``predict_chunk_size`` additionally
+    overlaps work *inside* the prediction phase: the batch is predicted in
+    chunks so chunk k+1's embedding/retrieval runs while chunk k's LLM
+    calls are in flight.
     """
 
     #: Flush as soon as this many alerts are queued.
@@ -182,6 +194,20 @@ class IngestConfig:
     collect_workers_min: int = 1
     #: Autoscaler ceiling: the pool never grows beyond this many workers.
     collect_workers_max: int = 8
+    #: Micro-batches in flight at once: 1 (the default) is the classic
+    #: barrier execution — collect and predict of one wave finish before the
+    #: next wave starts; N >= 2 double-buffers the two phases, overlapping
+    #: wave N's prediction with the collection of up to N-1 later waves
+    #: (collect results hand off through a bounded in-flight slot with
+    #: backpressure).  Reports, feedback effects, and ingest counters are
+    #: identical at every depth.
+    pipeline_depth: int = 1
+    #: Chunk size of the prediction phase: None (the default) predicts the
+    #: whole micro-batch in one pass; N >= 1 splits it so chunk k+1's
+    #: embedding/retrieval overlaps chunk k's LLM calls.  Cross-chunk LLM
+    #: deduplication is preserved (chunks pre-split on the prompt content
+    #: key), so predictions are identical at every chunk size.
+    predict_chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -197,6 +223,10 @@ class IngestConfig:
                 f"unknown collect backend: {self.collect_backend!r} "
                 "(expected 'thread' or 'process')"
             )
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be positive")
+        if self.predict_chunk_size is not None and self.predict_chunk_size < 1:
+            raise ValueError("predict_chunk_size must be positive (or None)")
         if self.collect_workers_min < 1:
             raise ValueError("collect_workers_min must be positive")
         if self.collect_workers_max < self.collect_workers_min:

@@ -183,6 +183,7 @@ class RCACopilot:
         started: Optional[float] = None,
         now: Optional[Callable[[], float]] = None,
         timestamp: Optional[float] = None,
+        predict_chunk_size: Optional[int] = None,
     ) -> List[DiagnosisReport]:
         """Run the batched prediction phase over already-collected incidents.
 
@@ -197,7 +198,10 @@ class RCACopilot:
         ``time.perf_counter``, matching :meth:`diagnose_many`).
         ``timestamp`` stamps the cache/index metric exports — callers on an
         injected clock pass its wall time so one batch's telemetry lives on
-        a single timeline.
+        a single timeline.  ``predict_chunk_size`` (None = whole batch)
+        chunks the prediction phase so retrieval of chunk k+1 overlaps
+        chunk k's LLM calls; predictions are identical at every chunk size
+        (see :meth:`PredictionStage.predict_many`).
         """
         if not collections:
             return []
@@ -208,7 +212,9 @@ class RCACopilot:
         incidents = [collection.incident for collection in collections]
         predictions: List[Optional[PredictionOutcome]] = [None] * len(incidents)
         if self._indexed:
-            predictions = list(self.prediction.predict_many(incidents))
+            predictions = list(
+                self.prediction.predict_many(incidents, chunk_size=predict_chunk_size)
+            )
         elapsed = (now() - started) / len(incidents)
         if timestamp is None:
             timestamp = time.time()

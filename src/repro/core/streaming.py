@@ -33,6 +33,22 @@ identical whether collection ran serially or on a pool.  A handler raising
 during the collection phase fails only its own alert's future — the rest of
 the batch still predicts, and the pool survives for the next wave.
 
+With :attr:`IngestConfig.pipeline_depth` >= 2 the two phases run as a
+**double-buffered pipeline**: each collected wave is handed off through a
+bounded in-flight slot (backpressure) to a dedicated single-slot prediction
+executor, so while wave N's prediction runs, the flushing thread is already
+collecting wave N+1 on the pool.  Predictions stay strictly serialized in
+submission order and take the same ingestion lock as mid-stream feedback —
+wave N's feedback/index updates commit before wave N+1's prediction reads
+the index — so reports, feedback effects, and ingest counters are
+value-identical to the barrier execution; the pipeline removes only the
+inter-wave stall.  (The prediction-phase telemetry exports then run
+concurrently with collect handlers' hub *reads*; handler queries filter by
+metric names the ingestor never emits, so query results are unaffected.)
+One extra caveat in pipelined mode: a future done-callback must not call
+``flush()`` — the callback runs on the prediction lane, and its wave would
+queue behind itself; ``submit`` and ``record_feedback`` remain safe.
+
 With :attr:`IngestConfig.autoscale` set, a
 :class:`~repro.core.autoscale.PoolAutoscaler` watches each batch's measured
 pool utilization, queue backlog, and phase split, and resizes the
@@ -64,7 +80,8 @@ from __future__ import annotations
 
 import queue
 import threading
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -72,7 +89,7 @@ from ..incidents import Incident
 from ..monitors import Alert
 from .autoscale import PoolAutoscaler
 from .clock import MONOTONIC_CLOCK, Clock
-from .collect_pool import CollectionPool
+from .collect_pool import CollectionPool, CollectResult
 from .config import IngestConfig
 from .errors import IngestQueueFull
 
@@ -119,6 +136,105 @@ class IngestStats:
         return flat
 
 
+class _StageOccupancy:
+    """Busy-time accounting of the collect and predict stages.
+
+    Every stage start/end event accrues the interval since the previous
+    event to whichever stages were active during it — collect, predict,
+    and their overlap — against the injected clock.  Busy fractions are
+    relative to the observed span (first stage event to now), so a barrier
+    execution reports zero overlap while a pipelined one reports exactly
+    the wall clock the pipeline hid.  Thread-safe: the collect side ticks
+    from the flushing thread, the predict side from the prediction lane.
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._collect_active = 0
+        self._predict_active = 0
+        self._first_event: Optional[float] = None
+        self._last_event: Optional[float] = None
+        self.collect_busy = 0.0
+        self.predict_busy = 0.0
+        self.overlap = 0.0
+
+    def _accrue_locked(self, now: float) -> None:
+        """Charge the interval since the last event to the active stages."""
+        if self._last_event is None:
+            return
+        delta = now - self._last_event
+        if delta > 0.0:
+            if self._collect_active:
+                self.collect_busy += delta
+            if self._predict_active:
+                self.predict_busy += delta
+            if self._collect_active and self._predict_active:
+                self.overlap += delta
+        self._last_event = now
+
+    def _shift(self, collect_delta: int, predict_delta: int) -> None:
+        with self._lock:
+            now = self._clock.monotonic()
+            if self._first_event is None:
+                self._first_event = now
+                self._last_event = now
+            self._accrue_locked(now)
+            self._collect_active += collect_delta
+            self._predict_active += predict_delta
+
+    def collect_start(self) -> None:
+        self._shift(1, 0)
+
+    def collect_end(self) -> None:
+        self._shift(-1, 0)
+
+    def predict_start(self) -> None:
+        self._shift(0, 1)
+
+    def predict_end(self) -> None:
+        self._shift(0, -1)
+
+    def overlap_total(self) -> float:
+        """Cumulative collect/predict overlap, accrued to now."""
+        with self._lock:
+            self._accrue_locked(self._clock.monotonic())
+            return self.overlap
+
+    def snapshot(self) -> Dict[str, float]:
+        """The occupancy gauges as a flat metric mapping (suffix -> value)."""
+        with self._lock:
+            self._accrue_locked(self._clock.monotonic())
+            span = (
+                self._last_event - self._first_event
+                if self._first_event is not None and self._last_event is not None
+                else 0.0
+            )
+            return {
+                "pipeline_overlap_seconds": self.overlap,
+                "collect_busy_fraction": (
+                    self.collect_busy / span if span > 0.0 else 0.0
+                ),
+                "predict_busy_fraction": (
+                    self.predict_busy / span if span > 0.0 else 0.0
+                ),
+            }
+
+
+@dataclass
+class _Wave:
+    """One collected micro-batch, handed from the collect to the predict stage."""
+
+    items: List[Tuple[Alert, Future]]
+    results: List[CollectResult]
+    reason: str
+    collect_started: float
+    collect_seconds: float
+    pool_size: int
+    utilization: float
+    autoscale_metrics: Optional[Dict[str, float]] = None
+
+
 class StreamIngestor:
     """Bounded queue + micro-batching window in front of ``observe_many``."""
 
@@ -147,9 +263,34 @@ class StreamIngestor:
         #: Separate from ``_lock`` so submitters never wait on a running
         #: batch just to bump a counter.
         self._stats_lock = threading.Lock()
+        #: Serializes wave *collection* (and pool resizes) across the
+        #: background worker and concurrent manual ``flush()`` callers in
+        #: pipelined mode.  Under barrier execution the ingestion lock
+        #: covers this already; pipelined, collection must not wait behind
+        #: a running prediction, hence the separate lock.
+        self._collect_lock = threading.Lock()
         self._worker: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self._ingest_stats = IngestStats()
+        #: Pipelined execution (``pipeline_depth`` >= 2): a dedicated
+        #: single-slot executor serializes predictions in submission order,
+        #: and the bounded semaphore caps how many collected waves may be
+        #: in flight toward it — the collecting thread blocks on a slot
+        #: before submitting, which is the pipeline's backpressure.
+        self._pipelined = self.config.pipeline_depth >= 2
+        self._predict_executor: Optional[ThreadPoolExecutor] = None
+        self._predict_slots: Optional[threading.BoundedSemaphore] = (
+            threading.BoundedSemaphore(self.config.pipeline_depth - 1)
+            if self._pipelined
+            else None
+        )
+        self._pending_lock = threading.Lock()
+        self._pending_predictions: List[Future] = []
+        #: (predict_seconds, overlap_seconds) of the last *completed*
+        #: prediction — what the pipelined autoscale observation feeds the
+        #: control loop at the next collect boundary.
+        self._last_predict: Tuple[float, float] = (0.0, 0.0)
+        self._occupancy = _StageOccupancy(self._clock)
         #: Collection-phase worker pool (serial when ``collect_workers`` is
         #: None); executors spin up lazily on the first pooled batch and are
         #: torn down by :meth:`stop`.  With ``config.autoscale`` set, the
@@ -208,8 +349,52 @@ class StreamIngestor:
         return future
 
     def submit_many(self, alerts: Sequence[Alert]) -> List["Future[DiagnosisReport]"]:
-        """Queue a burst of alerts, one future per alert."""
-        return [self.submit(alert) for alert in alerts]
+        """Queue a burst of alerts, one future per alert.
+
+        Bulk fast path: the whole burst is counted under one stats-lock
+        acquisition (instead of two per alert) and the worker is woken once
+        after the last enqueue.  Counter semantics match per-alert
+        ``submit`` exactly — the burst is counted as submitted *before* any
+        item enters the queue, so a concurrent flush can never observe
+        ``processed > submitted``; a load-shed ``put_nowait`` hitting a
+        full queue rolls back the count of the items that never made it in
+        and raises :class:`IngestQueueFull` (the already-enqueued prefix
+        stays queued, as it would with per-alert submits).
+        """
+        alerts = list(alerts)
+        if not alerts:
+            return []
+        futures: List["Future[DiagnosisReport]"] = [Future() for _ in alerts]
+        with self._stats_lock:
+            self._ingest_stats.submitted += len(alerts)
+        enqueued = 0
+        try:
+            for alert, future in zip(alerts, futures):
+                if self.config.block_when_full:
+                    self._queue.put((alert, future))
+                else:
+                    try:
+                        self._queue.put_nowait((alert, future))
+                    except queue.Full:
+                        with self._stats_lock:
+                            self._ingest_stats.submitted -= len(alerts) - enqueued
+                        raise IngestQueueFull(
+                            f"ingest queue full ({self.config.queue_capacity} "
+                            "alerts queued)"
+                        ) from None
+                enqueued += 1
+        finally:
+            if enqueued:
+                with self._stats_lock:
+                    self._ingest_stats.max_queue_depth = max(
+                        self._ingest_stats.max_queue_depth, self._queue.qsize()
+                    )
+                # One wake for the whole burst: a worker parked on a fake
+                # clock re-polls the queue on wake and finds everything
+                # enqueued so far (the real clock's wake is a no-op — its
+                # timed queue get needs no nudge).
+                self._clock.wake()
+        return futures
 
     # -------------------------------------------------------------- background
     def start(self) -> "StreamIngestor":
@@ -255,6 +440,15 @@ class StreamIngestor:
                 self.flush()
                 if self._queue.empty():
                     break
+        # Pipelined: wait out every in-flight prediction (their per-alert
+        # futures resolve inside the prediction lane), then retire the lane
+        # itself; post-stop flush() lazily recreates it, mirroring the
+        # collection pool.
+        self._drain_predictions()
+        executor = self._predict_executor
+        if executor is not None:
+            executor.shutdown(wait=True)
+            self._predict_executor = None
         self._collect_pool.close()
 
     def __enter__(self) -> "StreamIngestor":
@@ -299,7 +493,10 @@ class StreamIngestor:
                 except queue.Empty:
                     break
             reason = "size" if len(batch) >= self.config.max_batch else "latency"
-            self._process(batch, reason)
+            if self._pipelined:
+                self._pipeline_process(batch, reason)
+            else:
+                self._process(batch, reason)
 
     # ------------------------------------------------------------------ manual
     def flush(self) -> List["DiagnosisReport"]:
@@ -313,9 +510,16 @@ class StreamIngestor:
         drained is still bounded by the depth at call time, so a concurrent
         producer (or a done-callback that resubmits) cannot keep ``flush``
         from returning.
+
+        Pipelined (``pipeline_depth`` >= 2), the chunks flow through the
+        two-stage pipeline — chunk k+1 collects while chunk k predicts —
+        and ``flush`` gathers the wave futures in submission order before
+        returning, so its result (and every per-alert future it covers) is
+        exactly the barrier path's.
         """
         budget = self._queue.qsize()
         reports: List["DiagnosisReport"] = []
+        waves: List["Future[List[DiagnosisReport]]"] = []
         while budget > 0:
             batch: List[Tuple[Alert, Future]] = []
             while len(batch) < self.config.max_batch and budget > 0:
@@ -327,14 +531,19 @@ class StreamIngestor:
                 budget -= 1
             if not batch:
                 break
-            reports.extend(self._process(batch, "manual"))
+            if self._pipelined:
+                waves.append(self._pipeline_process(batch, "manual"))
+            else:
+                reports.extend(self._process(batch, "manual"))
+        for wave_future in waves:
+            reports.extend(wave_future.result())
         return reports
 
     # ----------------------------------------------------------------- process
     def _process(
         self, items: List[Tuple[Alert, Future]], reason: str
     ) -> List["DiagnosisReport"]:
-        """Diagnose one micro-batch in two phases and resolve its futures.
+        """Barrier execution: collect and predict one micro-batch back to back.
 
         Phase 1 (collection) parses and collects every alert — serially or
         on the collection worker pool, per ``IngestConfig.collect_workers``
@@ -345,74 +554,211 @@ class StreamIngestor:
         ``diagnose_collected``, exactly as ``observe_many`` would.  The
         returned list holds the successful reports in submission order.
         """
+        with self._lock:
+            wave = self._collect_wave(items, reason)
+            if wave is None:
+                return []
+            reports, predict_error, predict_seconds = self._predict_locked(wave)
+            if self._autoscaler is not None:
+                self._apply_pool_target(
+                    self._autoscaler.observe(
+                        utilization=wave.utilization,
+                        queue_depth=self._queue.qsize(),
+                        collect_seconds=wave.collect_seconds,
+                        predict_seconds=predict_seconds,
+                    )
+                )
+                wave.autoscale_metrics = self._autoscaler.stats_dict()
+        return self._finish_wave(wave, reports, predict_error, predict_seconds)
+
+    def _pipeline_process(
+        self, items: List[Tuple[Alert, Future]], reason: str
+    ) -> "Future[List[DiagnosisReport]]":
+        """Pipelined execution: collect now, hand off to the prediction lane.
+
+        Collects the wave under the collection lock (serializing waves and
+        pool resizes against concurrent flushers), applies the autoscale
+        observation fed by the last *completed* prediction, then blocks on
+        a bounded in-flight slot before submitting the wave to the
+        single-slot prediction executor — that acquisition is the
+        backpressure that makes this a double-buffered pipeline instead of
+        an unbounded handoff queue.  The returned wave future resolves to
+        the wave's successful reports once prediction, future resolution,
+        stats fold, and telemetry export have all completed.
+        """
+        with self._collect_lock:
+            wave = self._collect_wave(items, reason)
+            if wave is None:
+                empty: "Future[List[DiagnosisReport]]" = Future()
+                empty.set_result([])
+                return empty
+            if self._autoscaler is not None:
+                last_predict_seconds, last_overlap_seconds = self._last_predict
+                self._apply_pool_target(
+                    self._autoscaler.observe(
+                        utilization=wave.utilization,
+                        queue_depth=self._queue.qsize(),
+                        collect_seconds=wave.collect_seconds,
+                        predict_seconds=last_predict_seconds,
+                        overlap_seconds=last_overlap_seconds,
+                    )
+                )
+                wave.autoscale_metrics = self._autoscaler.stats_dict()
+            assert self._predict_slots is not None
+            self._predict_slots.acquire()
+            executor = self._predict_executor
+            if executor is None:
+                executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="rcacopilot-predict"
+                )
+                self._predict_executor = executor
+            wave_future = executor.submit(self._predict_wave, wave)
+            with self._pending_lock:
+                self._pending_predictions.append(wave_future)
+            wave_future.add_done_callback(self._forget_prediction)
+            return wave_future
+
+    def _forget_prediction(self, wave_future: Future) -> None:
+        with self._pending_lock:
+            try:
+                self._pending_predictions.remove(wave_future)
+            except ValueError:  # pragma: no cover - double-removal guard
+                pass
+
+    def _predict_wave(self, wave: _Wave) -> List["DiagnosisReport"]:
+        """Prediction-lane task: predict one wave and finish it.
+
+        Takes the ingestion lock only around the prediction itself, so
+        mid-stream feedback serializes with predictions exactly as it does
+        with barrier batches — wave N's feedback/index updates commit
+        before wave N+1's prediction reads the index.  The in-flight slot
+        is released before futures resolve, so a done-callback that
+        submits more alerts can never deadlock the collecting thread.
+        """
+        try:
+            with self._lock:
+                reports, predict_error, predict_seconds = self._predict_locked(wave)
+        finally:
+            if self._predict_slots is not None:
+                self._predict_slots.release()
+        return self._finish_wave(wave, reports, predict_error, predict_seconds)
+
+    def _drain_predictions(self) -> None:
+        """Wait until no prediction is in flight (pipelined execution only)."""
+        while True:
+            with self._pending_lock:
+                pending = list(self._pending_predictions)
+            if not pending:
+                return
+            futures_wait(pending)
+
+    def _collect_wave(
+        self, items: List[Tuple[Alert, Future]], reason: str
+    ) -> Optional[_Wave]:
+        """Phase 1: parse + collect one micro-batch into a :class:`_Wave`.
+
+        The caller serializes waves — via the ingestion lock (barrier) or
+        the collection lock (pipelined) — so pool resizes only ever happen
+        here, at a collect boundary with no collect task in flight (an
+        earlier wave's *prediction* may still be running; the pool is not
+        involved in it).
+        """
         # Transition every future to RUNNING first: a future whose caller
         # cancelled it while queued is dropped from the batch, and the ones
-        # that remain can no longer be cancelled, so resolving them below
+        # that remain can no longer be cancelled, so resolving them later
         # cannot raise InvalidStateError and kill the worker.
         items = [
             item for item in items if item[1].set_running_or_notify_cancel()
         ]
         if not items:
-            return []
+            return None
         alerts = [alert for alert, _ in items]
-        reports: List["DiagnosisReport"] = []
-        with self._lock:
-            # Batch boundary: the pool is idle, so autoscale resizes are
-            # safe here and nowhere else.  The pre-batch decision reacts to
-            # an already-visible backlog (burst grow); the post-batch
-            # decision below feeds the loop what the batch measured.
-            if self._autoscaler is not None:
-                self._apply_pool_target(
-                    self._autoscaler.before_batch(self._queue.qsize())
-                )
-            collect_started = self._clock.monotonic()
-            incident_ids = [
-                self.copilot.collection.next_incident_id() for _ in alerts
-            ]
-            results = self._collect_pool.run(alerts, incident_ids)
-            collect_seconds = self._clock.monotonic() - collect_started
-            succeeded = [result for result in results if result.ok]
-            predict_started = self._clock.monotonic()
-            predict_error: Optional[Exception] = None
-            try:
-                reports = self.copilot.diagnose_collected(
-                    [result.outcome for result in succeeded],
-                    started=collect_started,
-                    now=self._clock.monotonic,
-                    timestamp=self._clock.time(),
-                )
-            except Exception as exc:  # noqa: BLE001 - failures flow to the futures
-                predict_error = exc
-                reports = []
-            predict_seconds = self._clock.monotonic() - predict_started
-            pool_size = self._collect_pool.pool_size
-            # Utilisation counts successful collections only, on every
-            # backend: a task that died in a worker has no observable
-            # elapsed time (its future carries just the exception), so
-            # including serial-side failure timings would make the gauge
-            # diverge between pool shapes.
-            busy_seconds = sum(result.seconds for result in results if result.ok)
-            lanes = pool_size if pool_size else 1
-            utilization = (
-                min(busy_seconds / (lanes * collect_seconds), 1.0)
-                if collect_seconds > 0.0
-                else 0.0
+        # Collect boundary: no collect task is in flight, so autoscale
+        # resizes are safe here and nowhere else.  The pre-batch decision
+        # reacts to an already-visible backlog (burst grow); the post-batch
+        # observation feeds the loop what a batch measured.
+        if self._autoscaler is not None:
+            self._apply_pool_target(
+                self._autoscaler.before_batch(self._queue.qsize())
             )
-            autoscale_metrics: Optional[Dict[str, float]] = None
-            if self._autoscaler is not None:
-                self._apply_pool_target(
-                    self._autoscaler.observe(
-                        utilization=utilization,
-                        queue_depth=self._queue.qsize(),
-                        collect_seconds=collect_seconds,
-                        predict_seconds=predict_seconds,
-                    )
-                )
-                autoscale_metrics = self._autoscaler.stats_dict()
-        # Resolve every future only after releasing the ingestion lock:
-        # set_result/set_exception run done-callbacks synchronously, and a
-        # callback that re-enters the ingestor (record_feedback, submit)
-        # would deadlock on the non-reentrant lock.
+        self._occupancy.collect_start()
+        collect_started = self._clock.monotonic()
+        incident_ids = [
+            self.copilot.collection.next_incident_id() for _ in alerts
+        ]
+        results = self._collect_pool.run(alerts, incident_ids)
+        collect_seconds = self._clock.monotonic() - collect_started
+        self._occupancy.collect_end()
+        pool_size = self._collect_pool.pool_size
+        # Utilisation counts successful collections only, on every
+        # backend: a task that died in a worker has no observable
+        # elapsed time (its future carries just the exception), so
+        # including serial-side failure timings would make the gauge
+        # diverge between pool shapes.
+        busy_seconds = sum(result.seconds for result in results if result.ok)
+        lanes = pool_size if pool_size else 1
+        utilization = (
+            min(busy_seconds / (lanes * collect_seconds), 1.0)
+            if collect_seconds > 0.0
+            else 0.0
+        )
+        return _Wave(
+            items=items,
+            results=results,
+            reason=reason,
+            collect_started=collect_started,
+            collect_seconds=collect_seconds,
+            pool_size=pool_size,
+            utilization=utilization,
+        )
+
+    def _predict_locked(
+        self, wave: _Wave
+    ) -> Tuple[List["DiagnosisReport"], Optional[Exception], float]:
+        """Phase 2 under the ingestion lock: batched prediction of one wave."""
+        succeeded = [result for result in wave.results if result.ok]
+        self._occupancy.predict_start()
+        overlap_before = self._occupancy.overlap_total()
+        predict_started = self._clock.monotonic()
+        predict_error: Optional[Exception] = None
+        try:
+            reports = self.copilot.diagnose_collected(
+                [result.outcome for result in succeeded],
+                started=wave.collect_started,
+                now=self._clock.monotonic,
+                timestamp=self._clock.time(),
+                predict_chunk_size=self.config.predict_chunk_size,
+            )
+        except Exception as exc:  # noqa: BLE001 - failures flow to the futures
+            predict_error = exc
+            reports = []
+        predict_seconds = self._clock.monotonic() - predict_started
+        self._occupancy.predict_end()
+        self._last_predict = (
+            predict_seconds,
+            self._occupancy.overlap_total() - overlap_before,
+        )
+        return reports, predict_error, predict_seconds
+
+    def _finish_wave(
+        self,
+        wave: _Wave,
+        reports: List["DiagnosisReport"],
+        predict_error: Optional[Exception],
+        predict_seconds: float,
+    ) -> List["DiagnosisReport"]:
+        """Resolve one wave's futures, fold its stats, export its telemetry.
+
+        Runs outside the ingestion lock — set_result/set_exception run
+        done-callbacks synchronously, and a callback that re-enters the
+        ingestor (record_feedback, submit) would deadlock on the
+        non-reentrant lock.  Barrier and pipelined execution share this
+        path; pipelined, it runs on the single-slot prediction lane, so
+        waves finish — and their stats fold — strictly in submission
+        order, keeping every counter identical to barrier execution.
+        """
+        items, results = wave.items, wave.results
+        succeeded = [result for result in results if result.ok]
         for result in results:
             if not result.ok:
                 items[result.index][1].set_exception(result.error)
@@ -428,28 +774,37 @@ class StreamIngestor:
             stats.batches += 1
             stats.last_flush_size = len(items)
             stats.collect_failures += sum(1 for result in results if not result.ok)
-            stats.flush_reasons[reason] = stats.flush_reasons.get(reason, 0) + 1
+            stats.flush_reasons[wave.reason] = (
+                stats.flush_reasons.get(wave.reason, 0) + 1
+            )
             exported = stats.as_dict()
+        with self._pending_lock:
+            predict_inflight = len(self._pending_predictions)
         metrics = {
             "rcacopilot.ingest.queue_depth": float(self._queue.qsize()),
             "rcacopilot.ingest.flush_size": float(len(items)),
-            "rcacopilot.ingest.collect_pool_size": float(pool_size),
-            "rcacopilot.ingest.collect_seconds": collect_seconds,
+            "rcacopilot.ingest.collect_pool_size": float(wave.pool_size),
+            "rcacopilot.ingest.collect_seconds": wave.collect_seconds,
             "rcacopilot.ingest.predict_seconds": predict_seconds,
-            "rcacopilot.ingest.collect_utilization": utilization,
+            "rcacopilot.ingest.collect_utilization": wave.utilization,
             "rcacopilot.ingest.collect_worker_seconds_total": (
                 self._collect_pool.worker_seconds
             ),
+            "rcacopilot.ingest.predict_inflight": float(predict_inflight),
+            **{
+                f"rcacopilot.ingest.{suffix}": value
+                for suffix, value in self._occupancy.snapshot().items()
+            },
             **{
                 f"rcacopilot.ingest.{suffix}": value
                 for suffix, value in exported.items()
             },
         }
-        if autoscale_metrics is not None:
+        if wave.autoscale_metrics is not None:
             metrics.update(
                 {
                     f"rcacopilot.ingest.autoscale_{suffix}": value
-                    for suffix, value in autoscale_metrics.items()
+                    for suffix, value in wave.autoscale_metrics.items()
                 }
             )
         self.hub.emit_metrics(
@@ -472,9 +827,12 @@ class StreamIngestor:
     def record_feedback(self, incident: Incident, confirmed_category: str) -> None:
         """Fold OCE feedback into the live index, serialized with the stream.
 
-        Takes the same lock as batch processing, so the correction is
-        guaranteed to be visible to the next micro-batch (on whichever index
-        backend is configured) and never lands mid-batch.
+        Takes the same lock as the prediction phase, so the correction is
+        guaranteed to be visible to every micro-batch whose prediction
+        starts after this call returns (on whichever index backend is
+        configured) and never lands mid-prediction.  Pipelined execution
+        preserves the guarantee: predictions are serialized under this
+        lock even while later waves collect concurrently.
         """
         with self._lock:
             self.copilot.record_feedback(incident, confirmed_category)
@@ -509,11 +867,21 @@ class StreamIngestor:
         racing a flush may see them mid-update — e.g. a grown pool size
         whose event counter has not ticked yet; they are exact whenever no
         batch is in flight.
+
+        The mapping also carries the pipeline gauges: ``predict_inflight``
+        (waves currently on the prediction lane; always 0 in barrier
+        mode), ``pipeline_overlap_seconds`` (cumulative seconds a collect
+        and a predict phase ran concurrently; identically 0 in barrier
+        mode), and the ``collect_busy_fraction``/``predict_busy_fraction``
+        per-stage busy fractions over the stream's active span.
         """
         flat = self.stats().as_dict()
         if self._autoscaler is not None:
             for suffix, value in self._autoscaler.stats_dict().items():
                 flat[f"autoscale_{suffix}"] = value
+        with self._pending_lock:
+            flat["predict_inflight"] = float(len(self._pending_predictions))
+        flat.update(self._occupancy.snapshot())
         return flat
 
     @property

@@ -142,6 +142,48 @@ class FakeClock(Clock):
                     )
 
 
+class GateModel:
+    """A :class:`SimulatedLLM` whose completions can block on an event.
+
+    The stop-drain tests use it to hold a prediction in flight at a known
+    point: ``close()`` arms the gate, the next completion sets ``entered``
+    (so the test knows the prediction phase has started) and parks until
+    ``open()``.  The gate starts open so history indexing and summary
+    warming run unimpeded.  Waits are bounded by a real-time hang guard.
+    """
+
+    def __init__(self, name: str = "gated-simulated-gpt-4") -> None:
+        self._inner = SimulatedLLM(name=name)
+        self.name = name
+        self.noise = 0.0  # keeps ChainOfThoughtPredictor._deterministic() true
+        self.entered = threading.Event()
+        self._release = threading.Event()
+        self._release.set()
+
+    def close(self) -> None:
+        """Arm the gate: subsequent completions block until :meth:`open`."""
+        self.entered.clear()
+        self._release.clear()
+
+    def open(self) -> None:
+        """Release every parked completion and let new ones through."""
+        self._release.set()
+
+    def _wait(self) -> None:
+        if not self._release.is_set():
+            self.entered.set()
+            if not self._release.wait(timeout=30.0):
+                raise TimeoutError("GateModel gate never released")
+
+    def complete(self, messages, temperature: float = 0.0):
+        self._wait()
+        return self._inner.complete(messages, temperature=temperature)
+
+    def complete_many(self, conversations, temperature: float = 0.0):
+        self._wait()
+        return self._inner.complete_many(conversations, temperature=temperature)
+
+
 #: Alert messages containing this marker make the flaky classifier raise.
 FLAKY_MARKER = "flaky-telemetry"
 
@@ -283,8 +325,14 @@ def build_stream_copilot(
     wall_budget: Optional[float] = None,
     registry: Optional[HandlerRegistry] = None,
     with_history: bool = True,
+    model: Optional[object] = None,
 ) -> RCACopilot:
-    """A small indexed copilot over the stream-test registry and seeded hub."""
+    """A small indexed copilot over the stream-test registry and seeded hub.
+
+    ``model`` swaps the chat model (e.g. a :class:`GateModel` whose
+    completions block on an event); the default is a fresh
+    :class:`SimulatedLLM`.
+    """
     config = PipelineConfig(
         collection=CollectionConfig(strict=strict, handler_wall_budget_seconds=wall_budget),
         index=IndexConfig(backend=index_backend, window_days=20.0),
@@ -294,7 +342,7 @@ def build_stream_copilot(
     copilot = RCACopilot(
         hub,
         registry=registry if registry is not None else stream_test_registry(),
-        model=SimulatedLLM(),
+        model=model if model is not None else SimulatedLLM(),
         config=config,
     )
     if with_history:
@@ -309,6 +357,8 @@ def ingest_config(
     collect_workers: Optional[int],
     collect_backend: str = "thread",
     max_batch: int = 64,
+    pipeline_depth: int = 1,
+    predict_chunk_size: Optional[int] = None,
 ) -> IngestConfig:
     """An IngestConfig tuned for deterministic manual-flush tests."""
     return IngestConfig(
@@ -316,6 +366,8 @@ def ingest_config(
         max_latency_seconds=5.0,
         collect_workers=collect_workers,
         collect_backend=collect_backend,
+        pipeline_depth=pipeline_depth,
+        predict_chunk_size=predict_chunk_size,
     )
 
 

@@ -245,6 +245,64 @@ class TestTelemetryExport:
         assert flush_size == 4.0
 
 
+class TestPipelineTelemetry:
+    """Satellite: the pipeline gauges reach the hub and ``stats_dict()``."""
+
+    PIPELINE_SUFFIXES = (
+        "pipeline_overlap_seconds",
+        "predict_inflight",
+        "collect_busy_fraction",
+        "predict_busy_fraction",
+    )
+
+    def test_pipeline_metrics_reach_hub_and_stats(self, stream_service, alert_feed):
+        copilot = build_copilot(stream_service)
+        ingestor = copilot.stream(
+            IngestConfig(
+                max_batch=3,
+                max_latency_seconds=1.0,
+                collect_workers=2,
+                pipeline_depth=2,
+                predict_chunk_size=2,
+            )
+        )
+        ingestor.submit_many(alert_feed[:9])
+        ingestor.flush()
+        ingestor.stop()
+        names = copilot.hub.metrics.metric_names()
+        for suffix in self.PIPELINE_SUFFIXES:
+            assert f"rcacopilot.ingest.{suffix}" in names
+        flat = ingestor.stats_dict()
+        for suffix in self.PIPELINE_SUFFIXES:
+            assert suffix in flat
+        assert flat["pipeline_overlap_seconds"] >= 0.0
+        assert 0.0 <= flat["collect_busy_fraction"] <= 1.0
+        assert 0.0 <= flat["predict_busy_fraction"] <= 1.0
+        # Everything drained: nothing is left on the prediction lane.
+        assert flat["predict_inflight"] == 0.0
+        inflight = copilot.hub.metrics.latest(
+            "rcacopilot.ingest.predict_inflight", "stream-ingestor"
+        )
+        assert inflight >= 0.0
+
+    def test_barrier_mode_reports_zero_overlap(self, stream_service, alert_feed):
+        """Barrier execution never overlaps stages, and says so."""
+        copilot = build_copilot(stream_service)
+        ingestor = copilot.stream(IngestConfig(max_batch=3, max_latency_seconds=1.0))
+        ingestor.submit_many(alert_feed[:6])
+        ingestor.flush()
+        ingestor.stop()
+        flat = ingestor.stats_dict()
+        assert flat["pipeline_overlap_seconds"] == 0.0
+        assert flat["predict_inflight"] == 0.0
+        assert (
+            copilot.hub.metrics.latest(
+                "rcacopilot.ingest.pipeline_overlap_seconds", "stream-ingestor"
+            )
+            == 0.0
+        )
+
+
 class TestFeedbackMidStream:
     """Satellite: feedback between micro-batches reaches the next batch."""
 

@@ -48,16 +48,21 @@ def make_stream(spec):
     ]
 
 
-def run_stream_variant(base: RCACopilot, spec, workers, backend):
+def run_stream_variant(base: RCACopilot, spec, workers, backend, depth=1, chunk=None):
     """Ingest the stream twice (feedback in between); return the run's telemetry.
 
     Wave 1 diagnoses the stream, every successful incident gets an OCE-
     confirmed label fed back, wave 2 replays the same alerts (recurrences
     that should now retrieve the fed-back incidents).  Everything returned
-    is deterministic for a given spec, whatever the pool shape.
+    is deterministic for a given spec, whatever the pool shape — or, with
+    ``depth``/``chunk``, whatever the pipeline shape.
     """
     copilot = copy.deepcopy(base)
-    ingestor = copilot.stream(stu.ingest_config(workers, backend))
+    ingestor = copilot.stream(
+        stu.ingest_config(
+            workers, backend, pipeline_depth=depth, predict_chunk_size=chunk
+        )
+    )
     try:
         futures1 = ingestor.submit_many(make_stream(spec))
         ingestor.flush()
@@ -134,6 +139,119 @@ class TestSerialPooledParity:
                 baseline = run
             else:
                 assert run == baseline
+
+
+#: (pipeline_depth, predict_chunk_size) variants locked to the barrier run.
+PIPELINE_VARIANTS = ((1, None), (2, None), (2, 2), (3, 1))
+
+#: One pipeline-parity stream element over the clock-driven handlers.
+PIPELINE_STREAM_ELEMENT = st.tuples(
+    st.sampled_from([stu.BUSY_TYPE, stu.IDLE_TYPE, stu.FLAKY_TYPE]), st.booleans()
+)
+
+
+def run_pipeline_variant(base: RCACopilot, spec, workers, depth, chunk, grouped):
+    """One pipelined (or barrier) run under a FakeClock — zero real sleeps.
+
+    The virtual-I/O handler advances the installed FakeClock instead of
+    sleeping, so "collect time" is exact and virtual.  ``grouped`` picks the
+    flush pattern: False submits the whole stream then flushes once (the
+    flush dequeues ``max_batch``-sized waves, so pipelined variants
+    genuinely overlap collect k+1 with predict k); True submits and flushes
+    wave by wave.  Same two-pass feedback protocol as
+    :func:`run_stream_variant`.
+    """
+    clock = stu.FakeClock()
+    stu.VIRTUAL_IO["clock"] = clock
+    copilot = copy.deepcopy(base)
+    ingestor = copilot.stream(
+        stu.ingest_config(
+            workers,
+            max_batch=3,
+            pipeline_depth=depth,
+            predict_chunk_size=chunk,
+        ),
+        clock=clock,
+    )
+    try:
+
+        def ingest_pass(alerts):
+            futures = []
+            if grouped:
+                for start in range(0, len(alerts), 3):
+                    futures.extend(ingestor.submit_many(alerts[start : start + 3]))
+                    ingestor.flush()
+            else:
+                futures.extend(ingestor.submit_many(alerts))
+                ingestor.flush()
+            return futures
+
+        futures1 = ingest_pass(make_stream(spec))
+        reports1, failures1 = stu.drain_futures(futures1)
+        fed_ids = []
+        for position in sorted(reports1):
+            incident = futures1[position].result().incident
+            ingestor.record_feedback(incident, f"ConfirmedCategory{position % 3}")
+            fed_ids.append(incident.incident_id)
+        futures2 = ingest_pass(make_stream(spec))
+        reports2, failures2 = stu.drain_futures(futures2)
+        return {
+            "reports1": reports1,
+            "failures1": failures1,
+            "reports2": reports2,
+            "failures2": failures2,
+            "index_state": stu.index_state(copilot, fed_ids),
+            "stats": ingestor.stats(),
+        }
+    finally:
+        ingestor.stop()
+        stu.VIRTUAL_IO["clock"] = None
+
+
+class TestPipelineParity:
+    """The pipelined ingest path is value-identical to barrier execution."""
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        spec=st.lists(PIPELINE_STREAM_ELEMENT, min_size=1, max_size=10),
+        workers=st.sampled_from([None, 2]),
+        grouped=st.booleans(),
+    )
+    def test_pipelined_matches_barrier(self, base_copilot, spec, workers, grouped):
+        """Reports, failures, feedback effects, and IngestStats all match.
+
+        Every (pipeline_depth, predict_chunk_size) variant — barrier,
+        double-buffered, double-buffered + chunked prediction, triple-
+        buffered with single-item chunks — must produce byte-identical
+        fingerprints over random streams of clock-driven, idle, and flaky
+        alerts, under both serial and pooled collection and both flush
+        patterns, with handler failures included.
+        """
+        baseline = None
+        for depth, chunk in PIPELINE_VARIANTS:
+            run = run_pipeline_variant(base_copilot, spec, workers, depth, chunk, grouped)
+            if baseline is None:
+                baseline = run
+            else:
+                assert run == baseline
+
+    def test_pipelined_matches_barrier_on_process_backend(self, base_copilot):
+        """The same contract across the process-pool collection backend."""
+        spec = [
+            (stu.SLEEPY_TYPE, False),
+            (stu.FLAKY_TYPE, True),
+            (stu.SLEEPY_TYPE, False),
+            (stu.FLAKY_TYPE, False),
+        ] * 2
+        baseline = run_stream_variant(base_copilot, spec, 2, "process")
+        pipelined = run_stream_variant(
+            base_copilot, spec, 2, "process", depth=2, chunk=2
+        )
+        assert pipelined == baseline
 
 
 class TestCrashContainment:
@@ -344,6 +462,49 @@ class TestStopDrain:
             t for t in threading.enumerate() if t.name.startswith("rcacopilot-collect")
         ]
 
+    def test_stop_during_inflight_prediction_drains_deterministically(self):
+        """stop() while a prediction is mid-flight on the pipeline lane.
+
+        A GateModel holds the wave's prediction at a known point; stop()
+        is issued from another thread while the prediction is parked, the
+        gate is then released, and the drain must finish with no stranded
+        futures, both the collection pool and the prediction executor
+        closed, and post-stop flush() still working.
+        """
+        model = stu.GateModel()
+        copilot = stu.build_stream_copilot(model=model)
+        ingestor = copilot.stream(
+            stu.ingest_config(2, max_batch=4, pipeline_depth=2, predict_chunk_size=2)
+        ).start()
+        try:
+            model.close()
+            futures = ingestor.submit_many([stu.make_stream_alert(i) for i in range(4)])
+            assert model.entered.wait(timeout=30.0)  # prediction is in flight
+            stopper = threading.Thread(target=ingestor.stop)
+            stopper.start()
+            model.open()
+            stopper.join(timeout=30.0)
+            assert not stopper.is_alive()
+            # No stranded futures: every alert resolved by the drain.
+            assert all(f.done() for f in futures)
+            assert all(f.result(timeout=0).predicted_label for f in futures)
+            # Both executors are gone and no pipeline thread survives.
+            assert ingestor._predict_executor is None
+            assert not [
+                t
+                for t in threading.enumerate()
+                if t.name.startswith("rcacopilot-predict")
+                or t.name.startswith("rcacopilot-collect")
+            ]
+            # Post-stop manual use still works (lanes lazily recreated).
+            late = ingestor.submit(stu.make_stream_alert(99))
+            ingestor.flush()
+            assert late.result(timeout=0).predicted_label
+            stats = ingestor.stats()
+            assert stats.processed == stats.submitted == 5
+        finally:
+            ingestor.stop()
+
     def test_stop_races_concurrent_producer_without_losing_alerts(self):
         total = 40
         ingestor = cheap_copilot().stream(
@@ -424,6 +585,58 @@ class TestStatsUnderConcurrency:
         stats = ingestor.stats()
         assert stats.processed == stats.submitted == total
         assert sum(stats.flush_reasons.values()) == stats.batches
+
+    def test_submit_many_bursts_keep_snapshots_consistent(self):
+        """Satellite regression: the bulk enqueue counts the burst atomically.
+
+        ``submit_many`` books the whole burst's ``submitted`` under one
+        stats-lock acquisition *before* enqueueing anything, so a reader
+        racing the background worker must never observe
+        ``processed > submitted`` — not even transiently mid-burst.
+        """
+        burst, bursts, producers = 6, 5, 2
+        total = burst * bursts * producers
+        ingestor = cheap_copilot().stream(
+            IngestConfig(max_batch=4, max_latency_seconds=0.001)
+        ).start()
+        stop_reading = threading.Event()
+        violations = []
+
+        def read_loop():
+            while not stop_reading.is_set():
+                snapshot = ingestor.stats()
+                if snapshot.processed > snapshot.submitted:
+                    violations.append(
+                        f"processed {snapshot.processed} > submitted {snapshot.submitted}"
+                    )
+                if sum(snapshot.flush_reasons.values()) != snapshot.batches:
+                    violations.append("flush reasons out of step with batches")
+
+        def produce(offset):
+            for index in range(bursts):
+                base = offset + index * burst
+                ingestor.submit_many(
+                    [stu.make_stream_alert(base + i) for i in range(burst)]
+                )
+
+        readers = [threading.Thread(target=read_loop) for _ in range(4)]
+        writers = [
+            threading.Thread(target=produce, args=(i * burst * bursts,))
+            for i in range(producers)
+        ]
+        for thread in readers + writers:
+            thread.start()
+        try:
+            for thread in writers:
+                thread.join(timeout=60.0)
+            ingestor.stop()
+        finally:
+            stop_reading.set()
+            for thread in readers:
+                thread.join(timeout=30.0)
+        assert not violations, violations[:5]
+        stats = ingestor.stats()
+        assert stats.processed == stats.submitted == total
 
     @pytest.mark.slow
     def test_background_pooled_soak(self, base_copilot):
