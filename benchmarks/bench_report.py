@@ -98,6 +98,24 @@ METRICS: List[Tuple[str, str, str, object]] = [
         ),
     ),
     (
+        "throughput",
+        "chaos wall ratio vs healthy (10% LLM timeouts)",
+        "BENCH_throughput.json",
+        lambda p: _get(p, "chaos", "wall_ratio"),
+    ),
+    (
+        "throughput",
+        "chaos lost futures",
+        "BENCH_throughput.json",
+        lambda p: _get(p, "chaos", "lost_futures"),
+    ),
+    (
+        "throughput",
+        "chaos degraded labels",
+        "BENCH_throughput.json",
+        lambda p: _get(p, "chaos", "degraded_labels"),
+    ),
+    (
         "retrieval",
         "sharded vs flat speedup (live)",
         "BENCH_retrieval.json",

@@ -588,3 +588,151 @@ def test_bursty_arrival_autoscaled_pool(quick_mode):
         f"autoscaled pool must spend fewer worker-seconds than {best_name} "
         f"({auto_ws:.2f} vs {best_ws:.2f})"
     )
+
+
+# -------------------------------------------------------------------- chaos
+#: Chaos-resilience profile: the same collect-bound stream, once healthy
+#: and once with 10% of LLM calls timing out (injected), absorbed by the
+#: retry/degradation layer.  Gates: every submitted future resolves, and
+#: the faulted run stays within 2x of the healthy wall clock — resilience
+#: must cost retries, not liveness or unbounded latency.  ``--chaos``
+#: lengthens the stream to soak scale.
+CHAOS_ALERTS = 32
+CHAOS_SOAK_ALERTS = 96
+CHAOS_FAULT_RATE = 0.1
+#: Seed choice: injection draws are per-(seed, site) deterministic; 7 is a
+#: realization whose first few draws include real fires, so even the quick
+#: (non-soak) stream exercises the retry path instead of a trivially
+#: healthy run.
+CHAOS_SEED = 7
+
+
+def _chaos_ingest(copilot, alerts, workers=COLLECT_WORKERS):
+    """(wall seconds, resolved reports, failed futures) for one stream."""
+    ingestor = copilot.stream(
+        IngestConfig(
+            max_batch=16,
+            max_latency_seconds=5.0,
+            collect_workers=workers,
+            # Chunked prediction: more (smaller) LLM calls per wave, so the
+            # per-call fault rate gets realistic opportunities to fire and a
+            # fault degrades a chunk, not a whole wave.  Healthy and chaos
+            # runs share the shape, keeping the wall-clock ratio fair.
+            predict_chunk_size=4,
+        )
+    )
+    futures = ingestor.submit_many(alerts)
+    started = time.perf_counter()
+    ingestor.flush()
+    seconds = time.perf_counter() - started
+    ingestor.stop()
+    reports, failed = [], 0
+    for future in futures:
+        assert future.done()  # zero lost futures, even under faults
+        try:
+            reports.append(future.result())
+        except Exception:  # noqa: BLE001 - the failure count is the datum
+            failed += 1
+    return seconds, reports, failed
+
+
+def test_chaos_resilient_ingest(chaos_soak):
+    """10% injected LLM timeouts cost <= 2x wall time and zero lost futures."""
+    from repro.chaos import (
+        FaultConfig,
+        FaultInjector,
+        FaultyChatModel,
+        ResilientChatModel,
+        RetryPolicy,
+    )
+    from repro.core.errors import LLMTimeoutError
+
+    count = CHAOS_SOAK_ALERTS if chaos_soak else CHAOS_ALERTS
+    healthy_copilot = _collect_bound_copilot()
+    healthy_copilot.observe(_collect_bound_alerts(1)[0])  # untimed warm-up
+    healthy_seconds, healthy_reports, healthy_failed = _chaos_ingest(
+        healthy_copilot, _collect_bound_alerts(count)
+    )
+    assert healthy_failed == 0 and len(healthy_reports) == count
+
+    injector = FaultInjector(seed=CHAOS_SEED)
+    chaos_model = ResilientChatModel(
+        FaultyChatModel(SimulatedLLM(), injector),
+        RetryPolicy(max_attempts=3, base_delay_seconds=0.01),
+    )
+    registry = HandlerRegistry()
+    registry.register(
+        linear_handler(
+            "CollectBound",
+            "collect-bound",
+            [
+                QueryAction(
+                    "slow_probe",
+                    source="metrics",
+                    metric_names=["delivery_queue_length"],
+                    classify=_bench_sleep_classifier,
+                ),
+                QueryAction("recent_events", source="events"),
+            ],
+        )
+    )
+    corpus = generate_corpus(
+        total_incidents=160, total_categories=45, seed=71, duration_days=180.0
+    )
+    train, _ = corpus.chronological_split(0.75)
+    chaos_copilot = RCACopilot(
+        TelemetryHub(), registry=registry, model=chaos_model
+    )
+    chaos_copilot.index_history(train)
+    chaos_copilot.observe(_collect_bound_alerts(1)[0])  # untimed warm-up
+    # Armed only now: warm-up and history indexing above ran fault-free.
+    injector.add(
+        FaultConfig(
+            site="llm.complete",
+            probability=CHAOS_FAULT_RATE,
+            error=LLMTimeoutError,
+        )
+    )
+    chaos_seconds, chaos_reports, chaos_failed = _chaos_ingest(
+        chaos_copilot, _collect_bound_alerts(count)
+    )
+    assert chaos_failed == 0 and len(chaos_reports) == count
+
+    wall_ratio = chaos_seconds / healthy_seconds
+    retry_stats = chaos_model.stats_dict()
+    injections = injector.stats_dict()["injections_total"]
+    degraded_labels = sum(
+        1 for report in chaos_reports if report.predicted_label == "Unknown"
+    )
+    print()
+    print(
+        f"chaos ingest ({count} alerts, {CHAOS_FAULT_RATE:.0%} injected LLM "
+        f"timeouts, seed {CHAOS_SEED}): healthy {healthy_seconds:.2f}s, "
+        f"chaos {chaos_seconds:.2f}s ({wall_ratio:.2f}x), "
+        f"{injections:.0f} injected faults, {retry_stats['retries']:.0f} retries, "
+        f"{retry_stats['degraded']:.0f} degraded completions, "
+        f"{degraded_labels} degraded labels"
+    )
+    merged = read_results("BENCH_throughput.json")
+    merged.setdefault("benchmark", "throughput_batch")
+    merged["chaos"] = {
+        "alerts": count,
+        "fault_rate": CHAOS_FAULT_RATE,
+        "seed": CHAOS_SEED,
+        "soak": bool(chaos_soak),
+        "cores": os.cpu_count() or 1,
+        "healthy_seconds": healthy_seconds,
+        "chaos_seconds": chaos_seconds,
+        "wall_ratio": wall_ratio,
+        "lost_futures": chaos_failed,
+        "injections": injections,
+        "retries": retry_stats["retries"],
+        "degraded_completions": retry_stats["degraded"],
+        "degraded_labels": degraded_labels,
+    }
+    path = write_results("BENCH_throughput.json", merged)
+    print(f"machine-readable results: {path}")
+    assert wall_ratio <= 2.0, (
+        f"the resilient stream must absorb {CHAOS_FAULT_RATE:.0%} LLM "
+        f"timeouts within 2x of the healthy wall clock, got {wall_ratio:.2f}x"
+    )

@@ -63,6 +63,17 @@ def pytest_addoption(parser):
             "per-worker incremental-RSS memory gate"
         ),
     )
+    parser.addoption(
+        "--chaos",
+        action="store_true",
+        default=False,
+        help=(
+            "run the chaos-resilience ingest profile "
+            "(bench_throughput_batch.py) at soak scale; without the flag it "
+            "runs a shorter stream with the same <= 2x wall-time and "
+            "zero-lost-futures gates under 10%% injected LLM timeouts"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
@@ -89,6 +100,12 @@ def pipeline_soak(request):
 def process_profile(request):
     """True when the process-scoring retrieval profile should run."""
     return bool(request.config.getoption("--process", default=False))
+
+
+@pytest.fixture(scope="session")
+def chaos_soak(request):
+    """True when the chaos-resilience ingest profile should run at soak scale."""
+    return bool(request.config.getoption("--chaos", default=False))
 
 
 def corpus_parameters():

@@ -30,6 +30,13 @@ Run with::
 
 from __future__ import annotations
 
+from repro.chaos import (
+    FaultConfig,
+    FaultInjector,
+    FaultyChatModel,
+    ResilientChatModel,
+    RetryPolicy,
+)
 from repro.cloudsim import TransportService
 from repro.core import (
     AutoscalePolicy,
@@ -38,7 +45,9 @@ from repro.core import (
     PipelineConfig,
     RCACopilot,
 )
+from repro.core.errors import LLMUnavailableError
 from repro.datagen import generate_corpus
+from repro.llm import SimulatedLLM
 from repro.vectordb import CompactionPolicy
 
 
@@ -198,6 +207,46 @@ def main() -> None:
         f"{int(index_stats['shards_merged'])} shards merged, "
         f"{int(index_stats['shards_split'])} split; median shard now "
         f"{int(index_stats['median_shard_size'])} entries"
+    )
+
+    print("\n== 5. Chaos pass: a flaky LLM behind the resilience layer ==")
+    # The same stream, but a third of the LLM calls now fail (injected,
+    # seeded — reruns reproduce the exact outage schedule).  The resilient
+    # wrapper retries with capped exponential backoff; when a call's
+    # attempts are exhausted it degrades that chunk to the explicit
+    # manual-triage category instead of failing the batch — no submitted
+    # alert ever loses its future.
+    injector = FaultInjector(seed=7)
+    resilient_model = ResilientChatModel(
+        FaultyChatModel(SimulatedLLM(), injector),
+        RetryPolicy(max_attempts=3, base_delay_seconds=0.01),
+    )
+    chaos_copilot = RCACopilot(service.hub, model=resilient_model, config=config)
+    chaos_copilot.index_history(history)
+    # Armed only now, so history indexing above ran fault-free.
+    injector.add(
+        FaultConfig(
+            site="llm.complete", probability=0.35, error=LLMUnavailableError
+        )
+    )
+    with chaos_copilot.stream() as chaos_ingestor:
+        chaos_futures = [chaos_ingestor.submit(alert) for _, alert in detected]
+        chaos_reports = [f.result(timeout=60.0) for f in chaos_futures]
+    retry_stats = resilient_model.stats_dict()
+    fault_stats = injector.stats_dict()
+    degraded = [r for r in chaos_reports if r.predicted_label == "Unknown"]
+    print(
+        f"  {len(chaos_reports)}/{len(detected)} futures resolved under "
+        f"{fault_stats['injections_total']:.0f} injected LLM outages"
+    )
+    print(
+        f"  resilience: {retry_stats['retries']:.0f} retries, "
+        f"{retry_stats['degraded']:.0f} degraded completions, "
+        f"{retry_stats['breaker_trips']:.0f} breaker trip(s)"
+    )
+    print(
+        f"  {len(degraded)} report(s) routed to manual triage as 'Unknown' "
+        f"instead of failing their batch"
     )
 
 

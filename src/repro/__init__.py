@@ -14,14 +14,27 @@ Public entry points:
   and figures.
 """
 
-from .core import DiagnosisReport, PipelineConfig, PredictionConfig, RCACopilot
+from .core import (
+    DiagnosisReport,
+    PermanentError,
+    PipelineConfig,
+    PredictionConfig,
+    RCACopilot,
+    RCACopilotError,
+    TransientError,
+    is_transient,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DiagnosisReport",
+    "PermanentError",
     "PipelineConfig",
     "PredictionConfig",
     "RCACopilot",
+    "RCACopilotError",
+    "TransientError",
     "__version__",
+    "is_transient",
 ]

@@ -14,13 +14,24 @@ from .config import (
     PredictionConfig,
 )
 from .errors import (
+    CircuitOpenError,
     CollectionError,
+    HandlerExecutionError,
+    IndexCorruptionError,
     IngestError,
     IngestQueueFull,
+    InjectedFault,
+    LLMError,
+    LLMTimeoutError,
+    LLMUnavailableError,
     NoHandlerError,
     NotFittedError,
+    PermanentError,
     PredictionError,
     RCACopilotError,
+    SerializationError,
+    TransientError,
+    is_transient,
 )
 from .pipeline import DiagnosisReport, RCACopilot
 from .prediction import (
@@ -47,13 +58,24 @@ __all__ = [
     "IngestConfig",
     "PipelineConfig",
     "PredictionConfig",
+    "CircuitOpenError",
     "CollectionError",
+    "HandlerExecutionError",
+    "IndexCorruptionError",
     "IngestError",
     "IngestQueueFull",
+    "InjectedFault",
+    "LLMError",
+    "LLMTimeoutError",
+    "LLMUnavailableError",
     "NoHandlerError",
     "NotFittedError",
+    "PermanentError",
     "PredictionError",
     "RCACopilotError",
+    "SerializationError",
+    "TransientError",
+    "is_transient",
     "DiagnosisReport",
     "RCACopilot",
     "CacheStats",

@@ -69,6 +69,14 @@ class AutoscalePolicy:
     #: reaches this many flush windows (``max_batch`` alerts each);
     #: None disables burst grow.
     burst_queue_factor: Optional[float] = 2.0
+    #: Rate damping against injected (or real) latency spikes: one batch's
+    #: utilization sample may move the EWMA's *input* by at most this much
+    #: from the current EWMA — a lone spiked batch is clipped instead of
+    #: swinging the control loop, while a sustained shift still walks the
+    #: EWMA there one clipped step per batch.  None disables clipping
+    #: (the default; the decision sequence is then exactly the classic
+    #: EWMA's).
+    spike_clip: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.low_utilization < self.high_utilization <= 1.0:
@@ -86,6 +94,8 @@ class AutoscalePolicy:
             raise ValueError("cooldown_seconds must be non-negative")
         if self.burst_queue_factor is not None and self.burst_queue_factor <= 0.0:
             raise ValueError("burst_queue_factor must be positive (or None)")
+        if self.spike_clip is not None and not 0.0 < self.spike_clip <= 1.0:
+            raise ValueError("spike_clip must be in (0, 1] (or None)")
 
 
 class PoolAutoscaler:
@@ -166,10 +176,17 @@ class PoolAutoscaler:
         pool from scaling to the collect load.
         """
         alpha = self.policy.ewma_alpha
+        clip = self.policy.spike_clip
         if self.ewma is None:
             self.ewma = utilization
         else:
-            self.ewma = alpha * utilization + (1.0 - alpha) * self.ewma
+            sample = utilization
+            if clip is not None:
+                # Rate damping: a lone latency spike (injected or real)
+                # may pull the EWMA's input at most ``spike_clip`` away
+                # from where the loop already is.
+                sample = min(max(sample, self.ewma - clip), self.ewma + clip)
+            self.ewma = alpha * sample + (1.0 - alpha) * self.ewma
         exposed_predict = max(predict_seconds - overlap_seconds, 0.0)
         collect_bound = (
             collect_seconds >= exposed_predict

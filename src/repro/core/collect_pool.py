@@ -399,20 +399,34 @@ class CollectionPool:
         their workers were told to exit when they were retired, so this is
         normally instant, but it makes "no threads survive a stopped
         ingestor" a guarantee rather than a likelihood.
+
+        Idempotent and exception safe: the executor, hub blob, and retired
+        list are detached before any teardown call, and the teardown steps
+        are chained in ``finally`` blocks — so a broken pool whose
+        shutdown raises still unlinks its shared-memory blob and joins its
+        retired executors, and a repeated ``close()`` (or one racing a
+        crash) is a no-op.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        if self._hub_blob is not None:
-            self._hub_blob.destroy()
-            self._hub_blob = None
-        self._prune_retired()
+        executor, self._executor = self._executor, None
+        blob, self._hub_blob = self._hub_blob, None
+        try:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        finally:
+            try:
+                if blob is not None:
+                    blob.destroy()
+            finally:
+                self._prune_retired()
 
     def _prune_retired(self) -> None:
-        """Join and drop executors retired by :meth:`resize`."""
-        for executor in self._retired:
-            executor.shutdown(wait=True)
-        self._retired.clear()
+        """Join and drop executors retired by :meth:`resize`.
+
+        Pops before joining so an executor whose shutdown raises is still
+        dropped — the next close() retries only the survivors.
+        """
+        while self._retired:
+            self._retired.pop().shutdown(wait=True)
 
     def __enter__(self) -> "CollectionPool":
         return self

@@ -117,6 +117,10 @@ class IngestStats:
     max_queue_depth: int = 0
     last_flush_size: int = 0
     collect_failures: int = 0
+    #: Batches whose processing died outside the per-alert containment
+    #: (infrastructure failure, not a handler/prediction error); their
+    #: futures are still resolved — with the batch-killing exception.
+    worker_errors: int = 0
     flush_reasons: Dict[str, int] = field(
         default_factory=lambda: {"size": 0, "latency": 0, "manual": 0}
     )
@@ -130,6 +134,7 @@ class IngestStats:
             "max_queue_depth": float(self.max_queue_depth),
             "last_flush_size": float(self.last_flush_size),
             "collect_failures": float(self.collect_failures),
+            "worker_errors": float(self.worker_errors),
         }
         for reason, count in self.flush_reasons.items():
             flat[f"flush_reason_{reason}"] = float(count)
@@ -421,6 +426,11 @@ class StreamIngestor:
         is never lost — it stays queued and its future resolves at the next
         ``flush()`` or ``start()`` (post-stop use is supported; the
         collection pool, torn down here, is lazily recreated).
+
+        Idempotent and exception safe: a repeated ``stop()`` (or one after
+        a worker crash) is a cheap no-op, and even if the final drain
+        raises, the prediction lane and the collection pool are still torn
+        down — no threads or shared memory outlive a ``stop()`` call.
         """
         self._stopping.set()
         if self._worker is not None:
@@ -435,21 +445,24 @@ class StreamIngestor:
                 self._clock.wake()
                 self._worker.join(timeout=0.05)
             self._worker = None
-        if flush:
-            while True:
-                self.flush()
-                if self._queue.empty():
-                    break
-        # Pipelined: wait out every in-flight prediction (their per-alert
-        # futures resolve inside the prediction lane), then retire the lane
-        # itself; post-stop flush() lazily recreates it, mirroring the
-        # collection pool.
-        self._drain_predictions()
-        executor = self._predict_executor
-        if executor is not None:
-            executor.shutdown(wait=True)
-            self._predict_executor = None
-        self._collect_pool.close()
+        try:
+            if flush:
+                while True:
+                    self.flush()
+                    if self._queue.empty():
+                        break
+            # Pipelined: wait out every in-flight prediction (their
+            # per-alert futures resolve inside the prediction lane), then
+            # retire the lane itself; post-stop flush() lazily recreates
+            # it, mirroring the collection pool.
+            self._drain_predictions()
+        finally:
+            executor, self._predict_executor = self._predict_executor, None
+            try:
+                if executor is not None:
+                    executor.shutdown(wait=True)
+            finally:
+                self._collect_pool.close()
 
     def __enter__(self) -> "StreamIngestor":
         return self.start()
@@ -493,10 +506,18 @@ class StreamIngestor:
                 except queue.Empty:
                     break
             reason = "size" if len(batch) >= self.config.max_batch else "latency"
-            if self._pipelined:
-                self._pipeline_process(batch, reason)
-            else:
-                self._process(batch, reason)
+            # Last line of defence: an exception that escapes batch
+            # processing (infrastructure failure outside the per-alert
+            # containment) must neither strand the batch's futures nor
+            # kill the worker loop — later submissions still have a
+            # consumer.
+            try:
+                if self._pipelined:
+                    self._pipeline_process(batch, reason)
+                else:
+                    self._process(batch, reason)
+            except Exception as exc:  # noqa: BLE001 - contained to the batch
+                self._fail_batch(batch, reason, exc)
 
     # ------------------------------------------------------------------ manual
     def flush(self) -> List["DiagnosisReport"]:
@@ -531,10 +552,13 @@ class StreamIngestor:
                 budget -= 1
             if not batch:
                 break
-            if self._pipelined:
-                waves.append(self._pipeline_process(batch, "manual"))
-            else:
-                reports.extend(self._process(batch, "manual"))
+            try:
+                if self._pipelined:
+                    waves.append(self._pipeline_process(batch, "manual"))
+                else:
+                    reports.extend(self._process(batch, "manual"))
+            except Exception as exc:  # noqa: BLE001 - contained to the batch
+                self._fail_batch(batch, "manual", exc)
         for wave_future in waves:
             reports.extend(wave_future.result())
         return reports
@@ -641,7 +665,15 @@ class StreamIngestor:
         finally:
             if self._predict_slots is not None:
                 self._predict_slots.release()
-        return self._finish_wave(wave, reports, predict_error, predict_seconds)
+        try:
+            return self._finish_wave(wave, reports, predict_error, predict_seconds)
+        except Exception as exc:  # noqa: BLE001 - contained to the wave
+            # An exception out of the finish path (telemetry export, a
+            # done-callback) on the prediction lane must not strand the
+            # wave's futures: resolve whatever is still pending and let
+            # the wave future report an empty batch.
+            self._fail_batch(wave.items, wave.reason, exc)
+            return []
 
     def _drain_predictions(self) -> None:
         """Wait until no prediction is in flight (pipelined execution only)."""
@@ -813,6 +845,44 @@ class StreamIngestor:
             timestamp=self._clock.time(),
         )
         return reports
+
+    def _fail_batch(
+        self,
+        items: List[Tuple[Alert, Future]],
+        reason: str,
+        exc: Exception,
+    ) -> None:
+        """Resolve a crashed batch's still-pending futures with ``exc``.
+
+        The normal paths resolve futures in :meth:`_finish_wave` (per-alert
+        collect failures, prediction errors); this is the containment for
+        everything else — an exception escaping batch processing itself.
+        Only futures not yet resolved are touched and only those are folded
+        into the stats, so a batch that crashed *after* its finish fold
+        cannot double-count (``processed <= submitted`` stays invariant).
+        """
+        failed = 0
+        for _, future in items:
+            if future.done():
+                continue
+            try:
+                future.set_running_or_notify_cancel()
+            except Exception:  # noqa: BLE001 - already RUNNING is fine
+                pass
+            try:
+                future.set_exception(exc)
+                failed += 1
+            except Exception:  # noqa: BLE001 - resolved/cancelled meanwhile
+                pass
+        if failed == 0:
+            return
+        with self._stats_lock:
+            stats = self._ingest_stats
+            stats.processed += failed
+            stats.batches += 1
+            stats.last_flush_size = failed
+            stats.worker_errors += 1
+            stats.flush_reasons[reason] = stats.flush_reasons.get(reason, 0) + 1
 
     def _apply_pool_target(self, target: int) -> None:
         """Resize the collection pool to the autoscaler's target (if changed).

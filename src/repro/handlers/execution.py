@@ -10,16 +10,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from ..core.errors import HandlerExecutionError
 from ..incidents import DiagnosticReport, Incident
 from ..telemetry import TelemetryHub
 from .actions import ActionContext, ActionResult
 from .handler import IncidentHandler
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from ..chaos import FaultInjector
 
-class HandlerExecutionError(RuntimeError):
-    """Raised when handler execution exceeds its step bound or hits a bad node."""
+__all__ = [
+    "ExecutionResult",
+    "HandlerExecutionError",  # canonical home is repro.core.errors
+    "HandlerExecutor",
+    "StepTrace",
+]
 
 
 @dataclass
@@ -66,6 +73,14 @@ class HandlerExecutor:
     queries stops at the next node boundary with a
     :class:`HandlerExecutionError` instead of occupying a collection worker
     indefinitely.
+
+    ``fault_injector`` is the chaos harness's hook into the handler-action
+    boundary: when set, every action step first fires the injector's
+    ``handler.step`` site, so configured faults surface exactly where a
+    real action failure would — inside one incident's execution, contained
+    by the collection stage's per-alert failure handling.  The injector is
+    deliberately not pickled (process collection workers rebuild pristine
+    executors from config; faults stay in the coordinating process).
     """
 
     def __init__(
@@ -73,10 +88,17 @@ class HandlerExecutor:
         hub: TelemetryHub,
         lookback_seconds: float = 3600.0,
         max_wall_seconds: Optional[float] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.hub = hub
         self.lookback_seconds = lookback_seconds
         self.max_wall_seconds = max_wall_seconds
+        self.fault_injector = fault_injector
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["fault_injector"] = None
+        return state
 
     def execute(
         self, handler: IncidentHandler, incident: Incident,
@@ -129,6 +151,8 @@ class HandlerExecutor:
                 raise HandlerExecutionError(
                     f"handler {handler.name!r} references unknown node {node_id!r}"
                 )
+            if self.fault_injector is not None:
+                self.fault_injector.fire("handler.step", detail=node.action.name)
             step_started = time.perf_counter()
             action_result = node.action.execute(context)
             self._accumulate(result, action_result)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 from typing import Any, Callable, Dict, Optional
 
+from ..core.errors import SerializationError
 from ..monitors import AlertScope
 from .actions import Action, ActionContext, MitigationAction, QueryAction, ScopeSwitchAction
 from .handler import HandlerNode, IncidentHandler
@@ -32,10 +33,6 @@ def register_classifier(
         return func
 
     return decorator
-
-
-class SerializationError(ValueError):
-    """Raised when a handler document cannot be (de)serialized."""
 
 
 def _action_to_dict(action: Action) -> Dict[str, Any]:

@@ -85,6 +85,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..core.errors import IndexCorruptionError
 from . import shardmem
 from .index import SHARDED_MANIFEST
 from .knn import Neighbor, select_complete_order
@@ -1026,16 +1027,21 @@ class ShardedVectorIndex:
 
         Idempotent; both respawn lazily on next use.  Unlinking on close is
         what keeps ``/dev/shm`` clean across index lifetimes — attached
-        worker mappings stay valid until their processes exit.
+        worker mappings stay valid until their processes exit.  Exception
+        safe: a failing executor shutdown (e.g. a pool whose workers died)
+        never leaks the shared-memory arena — the references are dropped
+        first, so a second ``close()`` after an error is a no-op.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
-            self._executor_workers = 0
-        if self._arena is not None:
-            self._arena.destroy()
-            self._arena = None
-            self._arena_epoch = -1
+        executor, self._executor = self._executor, None
+        arena, self._arena = self._arena, None
+        self._executor_workers = 0
+        self._arena_epoch = -1
+        try:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+        finally:
+            if arena is not None:
+                arena.destroy()
 
     def __getstate__(self) -> dict:
         # Worker pools and shared-memory mappings cannot be copied or
@@ -2083,12 +2089,61 @@ class ShardedVectorIndex:
         insert); version 2 records each shard's routing day range
         (compacted layouts); version 1 predates compaction and derives the
         range from the shard key and window width.
+
+        Raises :class:`~repro.core.errors.IndexCorruptionError` — a typed,
+        permanent failure — whenever the on-disk state is corrupt or
+        partial: undecodable or structurally invalid ``manifest.json``, an
+        ``arena.bin`` shorter than the manifest claims, or shard metadata
+        that does not reconstruct.  A missing manifest stays a plain
+        ``FileNotFoundError`` (absent, not corrupt).  Callers that must
+        survive corruption go through
+        :func:`repro.chaos.load_index_resilient`, which falls back to
+        legacy per-shard archives or a rebuild-from-store callback.
         """
         path = os.fspath(path)
-        with open(os.path.join(path, SHARDED_MANIFEST), "r", encoding="utf-8") as handle:
-            manifest = json.load(handle)
+        manifest_path = os.path.join(path, SHARDED_MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError, ValueError) as exc:
+            raise IndexCorruptionError(
+                f"corrupt manifest at {manifest_path}: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise IndexCorruptionError(
+                f"corrupt manifest at {manifest_path}: not a JSON object"
+            )
         if manifest.get("format") != "sharded-vector-index":
-            raise ValueError(f"not a sharded vector index: {path}")
+            raise IndexCorruptionError(f"not a sharded vector index: {path}")
+        try:
+            return cls._load_from_manifest(
+                path,
+                manifest,
+                similarity=similarity,
+                max_workers=max_workers,
+                compaction=compaction,
+                scoring_backend=scoring_backend,
+                quantized_prefilter=quantized_prefilter,
+            )
+        except IndexCorruptionError:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError, OSError) as exc:
+            raise IndexCorruptionError(f"corrupt index at {path}: {exc}") from exc
+
+    @classmethod
+    def _load_from_manifest(
+        cls,
+        path: str,
+        manifest: dict,
+        similarity: Optional[SimilarityConfig],
+        max_workers: Optional[int],
+        compaction: Optional[CompactionPolicy],
+        scoring_backend: str,
+        quantized_prefilter: bool,
+    ) -> "ShardedVectorIndex":
+        """Reconstruct an index from a decoded manifest (see :meth:`load`)."""
         index = cls(
             similarity=similarity,
             window_days=float(manifest["window_days"]),
@@ -2114,10 +2169,27 @@ class ShardedVectorIndex:
                 )
                 for meta in manifest["arena"]["blocks"]
             )
+            arena_file = os.path.abspath(os.path.join(path, manifest["arena"]["file"]))
+            arena_size = int(manifest["arena"]["size"])
+            # A partial write (crashed save, torn copy) leaves the arena
+            # shorter than the manifest's block layout expects; mmap'ing it
+            # anyway would fault lazily on first scan of the missing pages,
+            # so fail fast with the typed corruption error instead.
+            try:
+                actual_size = os.path.getsize(arena_file)
+            except OSError as exc:
+                raise IndexCorruptionError(
+                    f"missing arena file {arena_file}: {exc}"
+                ) from exc
+            if actual_size < arena_size:
+                raise IndexCorruptionError(
+                    f"partial arena file {arena_file}: {actual_size} bytes on "
+                    f"disk, manifest expects {arena_size}"
+                )
             spec = ArenaSpec(
                 kind="file",
-                name=os.path.abspath(os.path.join(path, manifest["arena"]["file"])),
-                size=int(manifest["arena"]["size"]),
+                name=arena_file,
+                size=arena_size,
                 blocks=blocks,
             )
             arena = ShardArena.attach(spec)

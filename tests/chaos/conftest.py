@@ -1,0 +1,30 @@
+"""Fixtures for the chaos suite.
+
+The suite reuses the deterministic streaming harness (FakeClock, stream
+registry, alert builders) from ``tests/core/streamtest_utils.py``; pytest
+only puts each test file's own directory on ``sys.path``, so the sibling
+directory is inserted here.
+
+Every randomized chaos test derives its RNG seed from the ``chaos_seed``
+fixture, which reads ``CHAOS_SEED`` (default 0) and prints it — the CI
+chaos-soak job logs the value so any failure reproduces with
+``CHAOS_SEED=<seed> pytest tests/chaos``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_TESTS_CORE = os.path.join(os.path.dirname(__file__), "..", "core")
+if _TESTS_CORE not in sys.path:
+    sys.path.insert(0, os.path.abspath(_TESTS_CORE))
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    seed = int(os.environ.get("CHAOS_SEED", "0"))
+    print(f"\n[chaos] RNG seed: {seed} (override with CHAOS_SEED=<int>)")
+    return seed

@@ -1,0 +1,119 @@
+"""Property-based invariants of ``IngestStats`` under injected faults.
+
+Whatever mix of alerts and fault rates the stream sees, the accounting
+contract holds: ``processed`` never exceeds ``submitted``, counters only
+ever grow, every future resolves by ``stop()``, and the flush-reason
+histogram sums to the batch count.  Everything runs on a FakeClock —
+zero real sleeps regardless of the injected delays hypothesis picks.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import streamtest_utils as stu
+
+from repro.chaos import (
+    FaultConfig,
+    FaultInjector,
+    FaultyChatModel,
+    ResilientChatModel,
+    RetryPolicy,
+)
+from repro.datagen import generate_corpus
+from repro.llm import SimulatedLLM
+
+_TYPES = [stu.SLEEPY_TYPE, stu.FLAKY_TYPE, stu.IDLE_TYPE]
+#: One small shared corpus: generation is deterministic, indexing is per-test.
+_HISTORY = generate_corpus(
+    total_incidents=24, total_categories=12, seed=7, duration_days=30.0
+)
+
+_MONOTONIC_FIELDS = (
+    "submitted",
+    "processed",
+    "batches",
+    "collect_failures",
+    "worker_errors",
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    alert_kinds=st.lists(st.integers(0, 2), min_size=1, max_size=10),
+    handler_probability=st.floats(0.0, 1.0),
+    llm_probability=st.floats(0.0, 0.5),
+    llm_delay=st.floats(0.0, 30.0),
+    seed=st.integers(0, 2**16),
+)
+def test_stats_invariants_under_injected_faults(
+    alert_kinds, handler_probability, llm_probability, llm_delay, seed
+):
+    clock = stu.FakeClock(auto_advance=True)
+    injector = FaultInjector(seed=seed, clock=clock)
+    model = ResilientChatModel(
+        FaultyChatModel(SimulatedLLM(), injector),
+        RetryPolicy(
+            max_attempts=2, base_delay_seconds=0.0, failure_threshold=1000
+        ),
+        clock=clock,
+    )
+    copilot = stu.build_stream_copilot(model=model, with_history=False)
+    copilot.index_history(_HISTORY)
+    copilot.collection._executor.fault_injector = injector
+    # Armed after history indexing: faults target the stream only.
+    injector.add(FaultConfig(site="handler.step", probability=handler_probability))
+    injector.add(
+        FaultConfig(
+            site="llm.complete",
+            probability=llm_probability,
+            delay_seconds=llm_delay,
+        )
+    )
+    ingestor = copilot.stream(stu.ingest_config(collect_workers=2, max_batch=4))
+
+    futures = []
+    previous = ingestor.stats().as_dict()
+    for position, kind in enumerate(alert_kinds):
+        futures.append(
+            ingestor.submit(
+                stu.make_stream_alert(position, alert_type=_TYPES[kind])
+            )
+        )
+        if position % 3 == 2:
+            ingestor.flush()
+        current = ingestor.stats().as_dict()
+        for field in _MONOTONIC_FIELDS:
+            assert current[field] >= previous[field]  # counters only grow
+        assert current["processed"] <= current["submitted"]
+        previous = current
+
+    ingestor.stop()
+    stats = ingestor.stats()
+    assert stats.processed == stats.submitted == len(alert_kinds)
+    assert all(future.done() for future in futures)  # nothing stranded
+    assert sum(stats.flush_reasons.values()) == stats.batches
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    burst=st.integers(1, 8),
+    max_injections=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+)
+def test_bounded_fault_budget_bounds_failed_futures(burst, max_injections, seed):
+    """At most ``max_injections`` futures fail; the rest carry reports."""
+    injector = FaultInjector(seed=seed).add(
+        FaultConfig(site="handler.step", max_injections=max_injections)
+    )
+    copilot = stu.build_stream_copilot(with_history=False)
+    copilot.collection._executor.fault_injector = injector
+    ingestor = copilot.stream(stu.ingest_config(collect_workers=2))
+    futures = ingestor.submit_many(
+        [stu.make_stream_alert(position) for position in range(burst)]
+    )
+    ingestor.stop()
+    reports, failures = stu.drain_futures(futures)
+    assert len(failures) == min(burst, max_injections)
+    assert len(reports) + len(failures) == burst
+    assert ingestor.stats().processed == burst
