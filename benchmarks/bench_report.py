@@ -116,6 +116,26 @@ METRICS: List[Tuple[str, str, str, object]] = [
         lambda p: _get(p, "chaos", "degraded_labels"),
     ),
     (
+        "throughput",
+        "replay autoscaled wall vs best static (flash crowd)",
+        "BENCH_throughput.json",
+        lambda p: _get(p, "replay", "autoscaled", "wall_ratio_vs_best_static"),
+    ),
+    (
+        "throughput",
+        "replay autoscaled worker-seconds vs largest static",
+        "BENCH_throughput.json",
+        lambda p: _get(
+            p, "replay", "autoscaled", "worker_seconds_ratio_vs_largest_static"
+        ),
+    ),
+    (
+        "throughput",
+        "replay speed multiplier (flash crowd)",
+        "BENCH_throughput.json",
+        lambda p: _get(p, "replay", "speed"),
+    ),
+    (
         "retrieval",
         "sharded vs flat speedup (live)",
         "BENCH_retrieval.json",

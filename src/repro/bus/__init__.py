@@ -1,0 +1,41 @@
+"""Record/replay alert bus: deterministic production-shaped traffic.
+
+Capture a live alert + feedback stream to timestamped JSONL
+(:class:`TrafficRecorder` tapping a
+:class:`~repro.core.streaming.StreamIngestor`), then schedule it back
+through an ingestor at any speed multiplier (:class:`BusReplayer`) — on a
+:class:`~repro.core.clock.VirtualClock` a six-hour recording replays in
+milliseconds with bit-identical reports, feedback effects, and ingest
+counters at every speed.  :mod:`repro.bus.corpora` generates the
+checked-in diurnal and flash-crowd benchmark fixtures from cloudsim
+workloads.
+"""
+
+from .jsonl import (
+    FORMAT_VERSION,
+    AlertEvent,
+    BusEvent,
+    FeedbackEvent,
+    Recording,
+    build_recording,
+    event_from_record,
+    incident_from_dict,
+    incident_to_dict,
+)
+from .recorder import TrafficRecorder
+from .replayer import BusReplayer, ReplayResult
+
+__all__ = [
+    "FORMAT_VERSION",
+    "AlertEvent",
+    "BusEvent",
+    "FeedbackEvent",
+    "Recording",
+    "build_recording",
+    "event_from_record",
+    "incident_from_dict",
+    "incident_to_dict",
+    "TrafficRecorder",
+    "BusReplayer",
+    "ReplayResult",
+]

@@ -1,0 +1,175 @@
+"""Deterministic faster-than-real-time replay of a recorded alert stream.
+
+:class:`BusReplayer` schedules a :class:`~repro.bus.jsonl.Recording` back
+through a :class:`~repro.core.streaming.StreamIngestor` at any speed
+multiplier.  The design invariant that makes replays **bit-identical at
+every speed** is the separation of *batching* from *pacing*:
+
+* **Batching decisions run on the recorded timeline.**  The replayer
+  re-enacts the background worker's own micro-batch policy — flush when a
+  batch reaches ``max_batch`` alerts ("size") or when the oldest pending
+  alert has waited ``max_latency_seconds`` ("latency") — but evaluates
+  both conditions against the events' *recorded* offsets, never against
+  scaled times.  Batch membership is therefore a pure function of
+  (recording, ingest config), independent of the speed multiplier and of
+  float rounding in the scaling (no comparison ever involves ``speed``).
+* **Pacing only moves the clock.**  Event ``e`` is delivered once the
+  replay clock reaches ``t0 + e.offset / speed``.  On a
+  :class:`~repro.core.clock.VirtualClock` the replayer *advances* virtual
+  time to the target (a 6-hour recording replays in milliseconds); on the
+  real clock it sleeps the scaled gaps.  Feedback events are delivered at
+  their recorded position relative to flushes, so feedback-vs-batch
+  visibility is exactly the live run's.
+
+The replayer drives the ingestor *manually* (no background worker) and
+labels each flush with the reason the live worker would have used, so the
+resulting :class:`~repro.core.streaming.IngestStats` — batch count, flush
+sizes, flush reasons, queue-depth high-water mark — match a live run of
+the same stream and config, and match themselves across speeds.
+
+Pool-shape note: collection may still fan out to thread/process pools
+during replay; reports and counters are pool-shape-invariant by the
+ingestor's own contract.  Time-based *control* loops (autoscaler
+cooldowns) see the compressed timeline, so golden suites that compare
+across speeds pin static pools or zero cooldowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.clock import Clock
+from ..core.streaming import IngestStats, StreamIngestor
+from .jsonl import AlertEvent, FeedbackEvent, Recording
+
+
+@dataclass
+class ReplayResult:
+    """Everything one replay produced, in submission order."""
+
+    #: Successful diagnosis reports, in alert submission order (alerts whose
+    #: collection/prediction failed are in :attr:`failures` instead).
+    reports: List[object] = field(default_factory=list)
+    #: Alert position (0-based submission index) -> the exception that
+    #: resolved its future.
+    failures: Dict[int, BaseException] = field(default_factory=dict)
+    #: Ingest counters snapshot taken after the final flush.
+    stats: Optional[IngestStats] = None
+    #: The speed multiplier the replay ran at.
+    speed: float = 1.0
+    #: Last event offset of the recording (recorded seconds).
+    recorded_seconds: float = 0.0
+    #: Clock time the replay spanned on the replaying clock (scaled).
+    replay_seconds: float = 0.0
+    #: Feedback events delivered.
+    feedbacks: int = 0
+
+
+class BusReplayer:
+    """Replay a recording through a (manually driven) stream ingestor."""
+
+    def __init__(self, recording: Recording, speed: float = 1.0) -> None:
+        if speed <= 0.0:
+            raise ValueError(f"speed multiplier must be positive, got {speed!r}")
+        self.recording = recording
+        self.speed = speed
+
+    # ------------------------------------------------------------------ pacing
+    @staticmethod
+    def _pace(clock: Clock, target: float) -> None:
+        """Bring the replay clock up to ``target`` (monotonic seconds).
+
+        A clock that exposes ``advance`` (VirtualClock) is stepped directly
+        — this is what makes replay faster than real time *exact* rather
+        than sleep-bounded; the real clock sleeps out the remaining gap.
+        Handlers may themselves have advanced a virtual clock past the
+        target, in which case there is nothing to do (time never rewinds).
+        """
+        delta = target - clock.monotonic()
+        if delta <= 0.0:
+            return
+        advance = getattr(clock, "advance", None)
+        if advance is not None:
+            advance(delta)
+        else:
+            clock.sleep(delta)
+
+    # ------------------------------------------------------------------ replay
+    def replay(
+        self,
+        ingestor: StreamIngestor,
+        future_timeout: float = 120.0,
+    ) -> ReplayResult:
+        """Drive the full recording through ``ingestor``; gather the results.
+
+        The ingestor must not have a background worker running — the
+        replayer *is* the worker, re-enacting its flush policy on the
+        recorded timeline (a running worker would race it for the queue
+        and destroy determinism).
+        """
+        worker = getattr(ingestor, "_worker", None)
+        if worker is not None and worker.is_alive():
+            raise ValueError(
+                "replay requires a manually driven ingestor; stop() the "
+                "background worker first"
+            )
+        clock = ingestor.clock
+        max_batch = ingestor.config.max_batch
+        max_latency = ingestor.config.max_latency_seconds
+        t0 = clock.monotonic()
+        futures: List[object] = []
+        feedbacks = 0
+        pending = 0
+        window_start: Optional[float] = None  # recorded offset of oldest pending
+
+        def flush_due(reason: str, at_offset: float) -> None:
+            nonlocal pending, window_start
+            self._pace(clock, t0 + at_offset / self.speed)
+            ingestor.flush(reason=reason)
+            pending = 0
+            window_start = None
+
+        for event in self.recording.events:
+            # The worker's latency deadline fires at window_start + L; an
+            # event landing at or after that instant belongs to the *next*
+            # batch (the worker's timed get sees remaining <= 0 and
+            # flushes before taking it).  Recorded seconds on both sides —
+            # the comparison is speed-free by construction.
+            if (
+                pending
+                and window_start is not None
+                and event.offset >= window_start + max_latency
+            ):
+                flush_due("latency", window_start + max_latency)
+            self._pace(clock, t0 + event.offset / self.speed)
+            if isinstance(event, AlertEvent):
+                futures.append(ingestor.submit(event.alert))
+                if pending == 0:
+                    window_start = event.offset
+                pending += 1
+                if pending >= max_batch:
+                    flush_due("size", event.offset)
+            elif isinstance(event, FeedbackEvent):
+                ingestor.record_feedback(event.incident, event.category)
+                feedbacks += 1
+            else:  # pragma: no cover - decoder admits only the two kinds
+                raise TypeError(f"unknown bus event: {event!r}")
+        if pending and window_start is not None:
+            # Tail: the worker would have flushed the remainder when its
+            # latency window expired.
+            flush_due("latency", window_start + max_latency)
+
+        result = ReplayResult(
+            speed=self.speed,
+            recorded_seconds=self.recording.duration_seconds,
+            replay_seconds=clock.monotonic() - t0,
+            feedbacks=feedbacks,
+        )
+        for position, future in enumerate(futures):
+            try:
+                result.reports.append(future.result(timeout=future_timeout))
+            except Exception as exc:  # noqa: BLE001 - the failure is the datum
+                result.failures[position] = exc
+        result.stats = ingestor.stats()
+        return result

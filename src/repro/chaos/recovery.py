@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import glob
 import os
-import time as _time
 from typing import Callable, Optional, Tuple
 
+from ..core.clock import MONOTONIC_CLOCK, Clock
 from ..core.errors import IndexCorruptionError
 
 
@@ -84,13 +84,18 @@ def load_index_resilient(
     window_days: float = 30.0,
     rebuild: Optional[Callable[[], object]] = None,
     hub=None,
+    clock: Optional[Clock] = None,
 ) -> Tuple[object, str]:
     """Load a persisted index, degrading through fallbacks on corruption.
 
     Returns ``(index, source)`` where ``source`` is ``"primary"``,
     ``"legacy"`` or ``"rebuilt"``.  Raises the original
     :class:`IndexCorruptionError` only when every fallback is exhausted.
+    ``clock`` stamps the recovery-event telemetry (defaults to the real
+    clock); replayed/chaos runs inject theirs so fallback events land on
+    the run's own timeline.
     """
+    clock = clock if clock is not None else MONOTONIC_CLOCK
     from ..vectordb import load_index
 
     try:
@@ -105,7 +110,7 @@ def load_index_resilient(
         return index, "primary"
     except IndexCorruptionError as exc:
         corruption = exc
-    _emit(hub, "index_load_corruptions")
+    _emit(hub, "index_load_corruptions", clock)
     legacy = load_legacy_shards(
         path,
         similarity=similarity,
@@ -116,21 +121,21 @@ def load_index_resilient(
         quantized_prefilter=quantized_prefilter,
     )
     if legacy is not None:
-        _emit(hub, "index_legacy_fallbacks")
+        _emit(hub, "index_legacy_fallbacks", clock)
         return legacy, "legacy"
     if rebuild is not None:
         index = rebuild()
-        _emit(hub, "index_rebuilds")
+        _emit(hub, "index_rebuilds", clock)
         return index, "rebuilt"
     raise corruption
 
 
-def _emit(hub, suffix: str) -> None:
+def _emit(hub, suffix: str, clock: Clock) -> None:
     if hub is None:
         return
     hub.emit_metric(
         f"rcacopilot.faults.{suffix}",
         machine="chaos-recovery",
-        timestamp=_time.time(),
+        timestamp=clock.time(),
         value=1.0,
     )

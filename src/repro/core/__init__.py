@@ -2,7 +2,7 @@
 and the streaming micro-batch ingestion front."""
 
 from .autoscale import AutoscalePolicy, PoolAutoscaler
-from .clock import MONOTONIC_CLOCK, Clock, MonotonicClock
+from .clock import MONOTONIC_CLOCK, Clock, MonotonicClock, VirtualClock
 from .collect_pool import CollectionPool, CollectResult
 from .collection import CollectionOutcome, CollectionStage
 from .config import (
@@ -48,6 +48,7 @@ __all__ = [
     "Clock",
     "MonotonicClock",
     "MONOTONIC_CLOCK",
+    "VirtualClock",
     "CollectionPool",
     "CollectResult",
     "CollectionOutcome",

@@ -29,6 +29,7 @@ The interface is deliberately small:
 from __future__ import annotations
 
 import queue
+import threading
 import time
 from typing import Any
 
@@ -79,6 +80,105 @@ class MonotonicClock(Clock):
 
     def wait_queue(self, source: "queue.Queue", timeout: float) -> Any:
         return source.get(timeout=timeout)
+
+
+class VirtualClock(Clock):
+    """Step-controlled deterministic clock; time only moves when told to.
+
+    This is the clock behind faster-than-real-time replay
+    (:class:`repro.bus.BusReplayer`) and the streaming concurrency suites
+    (``tests/core/streamtest_utils.FakeClock`` is a thin alias):
+
+    * :meth:`advance` moves virtual time forward and wakes any thread
+      parked in :meth:`sleep`/:meth:`wait_queue` whose deadline has passed;
+    * :meth:`sleep` called from a worker thread parks that thread until a
+      controller advances past its deadline (or :meth:`wake`\\ s it); with
+      ``auto_advance=True`` it instead advances the clock itself and
+      returns immediately — virtual time "jumps over" every wait, which
+      suits single-threaded control loops and replay drivers;
+    * :meth:`wait_queue` first tries a non-blocking get, then sleeps out
+      the (virtual) timeout and tries once more — a latency window only
+      expires when virtual time is advanced past it;
+    * :meth:`wake` unparks all *currently parked* sleepers and is
+      otherwise a no-op — it leaves no residue for later sleeps
+      (``stop()`` re-issues it on a join loop, so a wake landing while a
+      worker is between parks is simply retried);
+    * :meth:`wait_for_sleepers` lets a controller synchronize with
+      background workers without real sleeps: it blocks (bounded by a
+      *real*-time safety deadline, purely as a hang guard) until the given
+      number of threads are parked on this clock.
+
+    There is a single timeline: ``time()`` returns ``monotonic()``, so
+    telemetry timestamps recorded under a virtual clock are exactly the
+    virtual instants at which they were emitted — the property the
+    record/replay determinism guarantees rest on.
+    """
+
+    def __init__(self, start: float = 0.0, auto_advance: bool = False) -> None:
+        self._now = start
+        self._auto_advance = auto_advance
+        self._cond = threading.Condition()
+        self._generation = 0
+        self._sleepers = 0
+
+    def monotonic(self) -> float:
+        with self._cond:
+            return self._now
+
+    def time(self) -> float:
+        # One timeline: virtual wall clock == virtual monotonic clock.
+        return self.monotonic()
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward and wake sleepers whose deadline passed."""
+        if seconds < 0:
+            raise ValueError("cannot advance a monotonic clock backwards")
+        with self._cond:
+            self._now += seconds
+            self._cond.notify_all()
+
+    def sleep(self, seconds: float) -> None:
+        with self._cond:
+            if self._auto_advance:
+                self._now += max(seconds, 0.0)
+                self._cond.notify_all()
+                return
+            deadline = self._now + seconds
+            generation = self._generation
+            self._sleepers += 1
+            self._cond.notify_all()  # wait_for_sleepers watches this count
+            try:
+                while self._now < deadline and self._generation == generation:
+                    self._cond.wait()
+            finally:
+                self._sleepers -= 1
+                self._cond.notify_all()
+
+    def wake(self) -> None:
+        with self._cond:
+            if self._sleepers:
+                self._generation += 1
+                self._cond.notify_all()
+
+    def wait_queue(self, source: "queue.Queue", timeout: float) -> Any:
+        try:
+            return source.get_nowait()
+        except queue.Empty:
+            pass
+        self.sleep(timeout)
+        return source.get_nowait()  # raises Empty when the wait expired
+
+    def wait_for_sleepers(self, count: int = 1, real_timeout: float = 10.0) -> None:
+        """Block (real-time bounded, event-driven) until ``count`` threads park."""
+        deadline = time.monotonic() + real_timeout
+        with self._cond:
+            while self._sleepers < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    raise TimeoutError(
+                        f"only {self._sleepers} of {count} expected sleepers "
+                        f"parked within {real_timeout}s"
+                    )
 
 
 #: Shared default instance (the clock is stateless).

@@ -16,7 +16,6 @@ Wires the two stages together behind one object:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -25,7 +24,7 @@ from ..incidents import Incident, IncidentStore
 from ..llm import ChatModel, SimulatedLLM
 from ..monitors import Alert
 from ..telemetry import TelemetryHub
-from .clock import Clock
+from .clock import MONOTONIC_CLOCK, Clock
 from .collection import CollectionOutcome, CollectionStage
 from .config import IngestConfig, PipelineConfig
 from .prediction import PredictionOutcome, PredictionStage
@@ -81,11 +80,16 @@ class RCACopilot:
         registry: Optional[HandlerRegistry] = None,
         model: Optional[ChatModel] = None,
         config: Optional[PipelineConfig] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self.hub = hub
         self.registry = registry or default_registry()
         self.model = model or SimulatedLLM()
+        # Every telemetry timestamp and elapsed-time measurement reads this
+        # clock; replayed runs inject a VirtualClock so the whole pipeline
+        # lives on the recording's timeline.
+        self.clock: Clock = clock if clock is not None else MONOTONIC_CLOCK
         self.collection = CollectionStage(self.registry, hub, self.config.collection)
         self.prediction = PredictionStage(
             model=self.model,
@@ -93,6 +97,7 @@ class RCACopilot:
             embedding_backend=self.config.embedding_backend,
             index_config=self.config.index,
             hub=hub,
+            clock=self.clock,
         )
         self.history = IncidentStore()
         self._indexed = False
@@ -138,9 +143,15 @@ class RCACopilot:
         max-batch/max-latency flush); see ``examples/streaming_triage.py``.
         ``clock`` injects an alternative time source (tests pass a
         step-controlled fake so latency and autoscaling paths run
-        deterministically).
+        deterministically); when omitted the ingestor shares the copilot's
+        own clock, so a copilot built for replay streams on the replayed
+        timeline without further plumbing.
         """
-        return StreamIngestor(self, config or self.config.ingest, clock=clock)
+        return StreamIngestor(
+            self,
+            config or self.config.ingest,
+            clock=clock if clock is not None else self.clock,
+        )
 
     # ---------------------------------------------------------------- diagnose
     def observe(self, alert: Alert) -> DiagnosisReport:
@@ -173,7 +184,7 @@ class RCACopilot:
         """
         if not incidents:
             return []
-        started = time.perf_counter()
+        started = self.clock.monotonic()
         collections = self.collection.collect_many(incidents)
         return self.diagnose_collected(collections, started=started)
 
@@ -194,11 +205,13 @@ class RCACopilot:
         carries the batch's true start time (collection included) so the
         reports' per-incident ``elapsed_seconds`` keeps its meaning; ``now``
         must then read the same clock ``started`` came from (the stream
-        ingestor passes its injected clock; the default is
-        ``time.perf_counter``, matching :meth:`diagnose_many`).
+        ingestor passes its injected clock; the default is the copilot's
+        own ``clock.monotonic``, matching :meth:`diagnose_many`).
         ``timestamp`` stamps the cache/index metric exports — callers on an
         injected clock pass its wall time so one batch's telemetry lives on
-        a single timeline.  ``predict_chunk_size`` (None = whole batch)
+        a single timeline; the fallback is the copilot clock's wall time,
+        never a direct ``time.time()`` read (which would leak the host's
+        wall clock into replayed runs).  ``predict_chunk_size`` (None = whole batch)
         chunks the prediction phase so retrieval of chunk k+1 overlaps
         chunk k's LLM calls; predictions are identical at every chunk size
         (see :meth:`PredictionStage.predict_many`).
@@ -206,7 +219,7 @@ class RCACopilot:
         if not collections:
             return []
         if now is None:
-            now = time.perf_counter
+            now = self.clock.monotonic
         if started is None:
             started = now()
         incidents = [collection.incident for collection in collections]
@@ -217,7 +230,7 @@ class RCACopilot:
             )
         elapsed = (now() - started) / len(incidents)
         if timestamp is None:
-            timestamp = time.time()
+            timestamp = self.clock.time()
         self.prediction.export_cache_metrics(self.hub, timestamp=timestamp)
         self.prediction.export_index_metrics(self.hub, timestamp=timestamp)
         return [

@@ -28,7 +28,6 @@ predictions and neighbour sets by construction.
 from __future__ import annotations
 
 import hashlib
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -47,6 +46,7 @@ from ..llm import (
 )
 from ..telemetry import TelemetryHub
 from ..vectordb import DEFAULT_WINDOW_DAYS, SimilarityConfig, VectorIndex, build_index
+from .clock import MONOTONIC_CLOCK, Clock
 from .config import ContextSource, IndexConfig, PredictionConfig
 from .errors import NotFittedError
 
@@ -167,10 +167,15 @@ class PredictionStage:
         embedder=None,
         index_config: Optional[IndexConfig] = None,
         hub: Optional[TelemetryHub] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.model = model or SimulatedLLM()
         self.config = config or PredictionConfig()
         self.index_config = index_config or IndexConfig()
+        #: Time source for in-stage telemetry timestamps and durations; a
+        #: replayed run injects a VirtualClock so the metrics it emits are
+        #: stamped on the recording's timeline, not the host's wall clock.
+        self._clock: Clock = clock if clock is not None else MONOTONIC_CLOCK
         #: Optional telemetry hub for decisions taken inside the stage
         #: (e.g. the automatic ``window_days`` choice); metric/stat exports
         #: still go through the explicit ``export_*_metrics`` calls.
@@ -368,7 +373,7 @@ class PredictionStage:
             )
             window_days = select_window_days(labelled_history)
             if self.hub is not None:
-                now = time.time()
+                now = self._clock.time()
                 self.hub.emit_metric(
                     "rcacopilot.index.window_days_auto",
                     machine="prediction-stage",
@@ -537,7 +542,7 @@ class PredictionStage:
         """
         if not incidents:
             return []
-        started = time.perf_counter()
+        started = self._clock.monotonic()
         self._warm_summaries(incidents)
         contexts = [self.build_context(incident) for incident in incidents]
         if chunk_size is not None and 0 < chunk_size < len(incidents):
@@ -549,7 +554,7 @@ class PredictionStage:
             predictions = self.predictor.predict_many(
                 list(zip(contexts, demonstration_lists))
             )
-        elapsed = (time.perf_counter() - started) / len(incidents)
+        elapsed = (self._clock.monotonic() - started) / len(incidents)
         outcomes: List[PredictionOutcome] = []
         for incident, context, demonstrations, prediction in zip(
             incidents, contexts, demonstration_lists, predictions

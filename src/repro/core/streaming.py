@@ -363,8 +363,9 @@ class StreamIngestor:
         item enters the queue, so a concurrent flush can never observe
         ``processed > submitted``; a load-shed ``put_nowait`` hitting a
         full queue rolls back the count of the items that never made it in
-        and raises :class:`IngestQueueFull` (the already-enqueued prefix
-        stays queued, as it would with per-alert submits).
+        and raises :class:`IngestQueueFull` carrying the already-enqueued
+        prefix's futures (``exc.enqueued``) — that prefix stays queued and
+        resolves at the next flush, as it would with per-alert submits.
         """
         alerts = list(alerts)
         if not alerts:
@@ -385,7 +386,8 @@ class StreamIngestor:
                             self._ingest_stats.submitted -= len(alerts) - enqueued
                         raise IngestQueueFull(
                             f"ingest queue full ({self.config.queue_capacity} "
-                            "alerts queued)"
+                            "alerts queued)",
+                            enqueued=futures[:enqueued],
                         ) from None
                 enqueued += 1
         finally:
@@ -520,7 +522,7 @@ class StreamIngestor:
                 self._fail_batch(batch, reason, exc)
 
     # ------------------------------------------------------------------ manual
-    def flush(self) -> List["DiagnosisReport"]:
+    def flush(self, reason: str = "manual") -> List["DiagnosisReport"]:
         """Synchronously process everything queued right now (manual mode).
 
         Returns the successful reports in submission order; alerts whose
@@ -531,6 +533,13 @@ class StreamIngestor:
         drained is still bounded by the depth at call time, so a concurrent
         producer (or a done-callback that resubmits) cannot keep ``flush``
         from returning.
+
+        ``reason`` labels the flush in ``IngestStats.flush_reasons``
+        (default ``"manual"``).  External drivers that *re-enact* the
+        worker's own flush decisions — the record/replay bus, which makes
+        the size/latency decision on the recording's timeline and drives
+        the ingestor manually — pass ``"size"``/``"latency"`` so a replayed
+        run's stats are bit-identical to the live run it replays.
 
         Pipelined (``pipeline_depth`` >= 2), the chunks flow through the
         two-stage pipeline — chunk k+1 collects while chunk k predicts —
@@ -554,11 +563,11 @@ class StreamIngestor:
                 break
             try:
                 if self._pipelined:
-                    waves.append(self._pipeline_process(batch, "manual"))
+                    waves.append(self._pipeline_process(batch, reason))
                 else:
-                    reports.extend(self._process(batch, "manual"))
+                    reports.extend(self._process(batch, reason))
             except Exception as exc:  # noqa: BLE001 - contained to the batch
-                self._fail_batch(batch, "manual", exc)
+                self._fail_batch(batch, reason, exc)
         for wave_future in waves:
             reports.extend(wave_future.result())
         return reports
@@ -953,6 +962,16 @@ class StreamIngestor:
             flat["predict_inflight"] = float(len(self._pending_predictions))
         flat.update(self._occupancy.snapshot())
         return flat
+
+    @property
+    def clock(self) -> Clock:
+        """The ingestor's injected time source (read-only).
+
+        Exposed so external drivers — the record/replay bus's recorder and
+        replayer — can timestamp and pace on exactly the timeline the
+        ingestor's own deadlines and telemetry run on.
+        """
+        return self._clock
 
     @property
     def collect_pool_size(self) -> int:

@@ -304,9 +304,12 @@ class SimulatedLLM:
         return score
 
     def _explain_choice(self, input_text: str, option_text: str) -> str:
+        # Tie-break equal-length tokens lexicographically: without it the
+        # order falls back to set iteration order, which is hash-salted and
+        # varies across processes — breaking cross-process replay goldens.
         shared = sorted(
             set(tokenize(input_text)) & set(tokenize(option_text)),
-            key=lambda token: -len(token),
+            key=lambda token: (-len(token), token),
         )
         evidence = ", ".join(shared[:5]) if shared else "the overall failure pattern"
         return (

@@ -86,6 +86,42 @@ class Alert:
             f"{target}: {self.message}"
         )
 
+    # ----------------------------------------------------------------- codec
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-serializable form (see :meth:`from_dict`).
+
+        The enum scope flattens to its string value; ``attributes`` is
+        copied so mutating the dict never reaches back into the (frozen)
+        alert.  This is the wire format of the record/replay alert bus
+        (:mod:`repro.bus.jsonl`).
+        """
+        return {
+            "alert_id": self.alert_id,
+            "alert_type": self.alert_type,
+            "scope": self.scope.value,
+            "timestamp": self.timestamp,
+            "machine": self.machine,
+            "forest": self.forest,
+            "message": self.message,
+            "severity": self.severity,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Alert":
+        """Rebuild an alert from :meth:`to_dict` output — exact round trip."""
+        return cls(
+            alert_id=str(payload["alert_id"]),
+            alert_type=str(payload["alert_type"]),
+            scope=AlertScope(payload["scope"]),
+            timestamp=float(payload["timestamp"]),
+            machine=str(payload["machine"]),
+            forest=str(payload["forest"]),
+            message=str(payload["message"]),
+            severity=int(payload.get("severity", 3)),
+            attributes=dict(payload.get("attributes") or {}),
+        )
+
 
 class AlertRouter:
     """Routes and de-duplicates alerts before they become incidents.

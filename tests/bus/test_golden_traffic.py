@@ -1,0 +1,104 @@
+"""Golden-traffic regression suite over the checked-in benchmark corpora.
+
+Replays each corpus at 1000x under a :class:`VirtualClock` through the
+deterministic replay copilot and compares the full replay digest (rendered
+reports + labels + failures + ingest counters + post-feedback index state)
+and the per-alert label sequence against checked-in golden fixtures — the
+CI tripwire for any behaviour change anywhere in the collect → retrieve →
+predict → feedback path.
+
+Also locks the corpora themselves: each generator is a pure function of
+its seed, so regenerating a corpus must reproduce the checked-in JSONL
+byte for byte.
+
+Regenerating after an *intentional* behaviour change::
+
+    PYTHONPATH=src python -m repro.bus.corpora          # the corpora
+    PYTHONPATH=src python tests/bus/test_golden_traffic.py --regen   # goldens
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import bustest_utils as btu
+from repro.bus.corpora import GENERATORS, corpus_path, load_corpus
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+#: The replay the goldens pin: 1000x, serial pool, the suite's config.
+GOLDEN_SPEED = 1000.0
+
+CORPORA = sorted(GENERATORS)
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def compute_golden(name: str) -> dict:
+    recording = load_corpus(name)
+    result, copilot = btu.run_replay(recording, GOLDEN_SPEED)
+    return {
+        "corpus": name,
+        "speed": GOLDEN_SPEED,
+        "alerts": len(recording.alerts),
+        "feedbacks": len(recording.feedbacks),
+        "reports": len(result.reports),
+        "failures": len(result.failures),
+        "labels": btu.replay_labels(result),
+        "stats": result.stats.as_dict(),
+        "digest": btu.replay_digest(result, copilot),
+    }
+
+
+@pytest.mark.parametrize("name", CORPORA)
+def test_corpus_regenerates_byte_identically(name):
+    """Each corpus is a pure function of its seed: regen == checked-in."""
+    with open(corpus_path(name), "r", encoding="utf-8") as handle:
+        checked_in = handle.read()
+    assert GENERATORS[name]().dumps() == checked_in
+
+
+@pytest.mark.parametrize("name", CORPORA)
+def test_corpus_is_well_formed(name):
+    recording = load_corpus(name)
+    assert recording.meta["name"] == name
+    assert recording.meta["alerts"] == len(recording.alerts)
+    assert recording.meta["feedbacks"] == len(recording.feedbacks)
+    offsets = [event.offset for event in recording.events]
+    assert offsets == sorted(offsets)
+    assert recording.duration_seconds > 0.0
+
+
+@pytest.mark.parametrize("name", CORPORA)
+def test_replay_matches_golden(name):
+    """The tier-1 replay smoke: 1000x replay reproduces the golden run."""
+    with open(golden_path(name), "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    current = compute_golden(name)
+    assert current["labels"] == golden["labels"]
+    assert current["stats"] == golden["stats"]
+    assert current == golden
+
+
+def regenerate() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in CORPORA:
+        payload = compute_golden(name)
+        with open(golden_path(name), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"{golden_path(name)}: {payload['reports']} reports, digest {payload['digest'][:12]}…")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 
 import streamtest_utils as stu
 from repro.core import AutoscalePolicy, CollectionError, IngestConfig, RCACopilot
+from repro.core.errors import IngestQueueFull
 from repro.handlers import HandlerRegistry
 
 
@@ -637,6 +638,80 @@ class TestStatsUnderConcurrency:
         assert not violations, violations[:5]
         stats = ingestor.stats()
         assert stats.processed == stats.submitted == total
+
+    def test_submit_many_rollback_race_under_load_shed(self):
+        """Satellite regression: the queue.Full rollback races a live drainer.
+
+        ``submit_many`` books the whole burst up front, then rolls the
+        un-enqueued remainder back when the bounded queue overflows
+        mid-burst (``block_when_full=False``).  With the background worker
+        draining concurrently, every interleaving must keep
+        ``processed <= submitted`` in every snapshot, the rollback must
+        land exactly (final submitted == alerts actually enqueued), and
+        the :class:`IngestQueueFull` exception must carry a resolvable
+        futures prefix for what did get in.
+        """
+        burst, bursts, producers = 6, 8, 2
+        ingestor = cheap_copilot().stream(
+            IngestConfig(
+                max_batch=4,
+                max_latency_seconds=0.001,
+                queue_capacity=5,  # < burst, so mid-burst overflow is common
+                block_when_full=False,
+            )
+        ).start()
+        stop_reading = threading.Event()
+        violations = []
+        accepted_futures = []
+        futures_lock = threading.Lock()
+
+        def read_loop():
+            while not stop_reading.is_set():
+                snapshot = ingestor.stats()
+                if snapshot.processed > snapshot.submitted:
+                    violations.append(
+                        f"processed {snapshot.processed} > submitted {snapshot.submitted}"
+                    )
+                if sum(snapshot.flush_reasons.values()) != snapshot.batches:
+                    violations.append("flush reasons out of step with batches")
+
+        def produce(offset):
+            for index in range(bursts):
+                base = offset + index * burst
+                alerts = [stu.make_stream_alert(base + i) for i in range(burst)]
+                try:
+                    futures = ingestor.submit_many(alerts)
+                except IngestQueueFull as exc:
+                    # The enqueued prefix is carried on the exception, in
+                    # submission order, and stays resolvable.
+                    assert len(exc.enqueued) < len(alerts)
+                    futures = exc.enqueued
+                with futures_lock:
+                    accepted_futures.extend(futures)
+
+        readers = [threading.Thread(target=read_loop) for _ in range(4)]
+        writers = [
+            threading.Thread(target=produce, args=(i * burst * bursts,))
+            for i in range(producers)
+        ]
+        for thread in readers + writers:
+            thread.start()
+        try:
+            for thread in writers:
+                thread.join(timeout=60.0)
+            ingestor.stop()
+        finally:
+            stop_reading.set()
+            for thread in readers:
+                thread.join(timeout=30.0)
+        assert not violations, violations[:5]
+        # Every accepted alert (full bursts + load-shed prefixes) resolved.
+        for future in accepted_futures:
+            assert future.result(timeout=30.0).incident.incident_id
+        stats = ingestor.stats()
+        # The rollback landed exactly: only accepted alerts stayed counted.
+        assert stats.submitted == len(accepted_futures)
+        assert stats.processed == stats.submitted
 
     @pytest.mark.slow
     def test_background_pooled_soak(self, base_copilot):
