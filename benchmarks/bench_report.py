@@ -18,9 +18,10 @@ Usage::
     # Trend across downloaded artifact directories, into a file:
     python benchmarks/bench_report.py runs/abc123 runs/def456 -o BENCH_report.md
 
-Unknown or missing files/metrics degrade to empty cells — the report never
+Unknown or missing files/metrics degrade to "—" cells — the report never
 fails because a benchmark was skipped (e.g. a ``--quick`` run that dropped
-a profile).
+a profile) or because an older archive predates a metric (e.g. runs
+recorded before the ``tenants`` block existed).
 """
 
 from __future__ import annotations
@@ -136,6 +137,18 @@ METRICS: List[Tuple[str, str, str, object]] = [
         lambda p: _get(p, "replay", "speed"),
     ),
     (
+        "throughput",
+        "tenants steady p95 wall vs solo (fair share)",
+        "BENCH_throughput.json",
+        lambda p: _get(p, "tenants", "steady_p95_ratio"),
+    ),
+    (
+        "throughput",
+        "tenants bursty alerts shed by quota",
+        "BENCH_throughput.json",
+        lambda p: _get(p, "tenants", "bursty_shed"),
+    ),
+    (
         "retrieval",
         "sharded vs flat speedup (live)",
         "BENCH_retrieval.json",
@@ -199,9 +212,16 @@ def _read_json(path: str) -> dict:
     return payload if isinstance(payload, dict) else {}
 
 
+#: Placeholder for a metric absent from a run's payload — e.g. an archive
+#: produced before the metric's benchmark section existed.  An em dash
+#: renders as a visible "not measured" cell (a truly empty cell reads as a
+#: formatting bug in most markdown viewers).
+MISSING = "—"
+
+
 def _format(value) -> str:
     if value is None:
-        return ""
+        return MISSING
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
@@ -220,8 +240,8 @@ def render_report(runs: List[Tuple[str, Dict[str, dict]]]) -> str:
             payload = payloads.get(filename, {})
             try:
                 cells.append(_format(extract(payload)))
-            except Exception:  # noqa: BLE001 - a bad payload is a blank cell
-                cells.append("")
+            except Exception:  # noqa: BLE001 - a bad payload is a missing cell
+                cells.append(MISSING)
         lines.append(f"| {section} | {metric} | " + " | ".join(cells) + " |")
     quick_flags = []
     for label, payloads in runs:

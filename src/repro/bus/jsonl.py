@@ -13,8 +13,13 @@ separators, so a regenerated recording is byte-identical)::
 
     {"kind": "header", "version": 1, "meta": {...}}
     {"kind": "alert", "offset": 12.5, "alert": {...Alert.to_dict()...}}
+    {"kind": "alert", "offset": 13.0, "alert": {...}, "tenant": "alpha"}
     {"kind": "feedback", "offset": 60.0, "category": "FullDisk",
      "incident": {...lossless incident dict...}}
+
+The ``tenant`` key is optional and only present on multi-tenant captures
+(absent means the single-tenant path), so pre-tenancy recordings decode
+unchanged and re-encode byte-identically.
 
 The alert payload round-trips through :meth:`repro.monitors.Alert.to_dict`
 / :meth:`~repro.monitors.Alert.from_dict` (enum scope, attributes,
@@ -101,13 +106,28 @@ def incident_from_dict(payload: Dict[str, object]) -> Incident:
 # ------------------------------------------------------------------ events
 @dataclass(frozen=True)
 class AlertEvent:
-    """One recorded alert submission at ``offset`` seconds into the stream."""
+    """One recorded alert submission at ``offset`` seconds into the stream.
+
+    ``tenant`` routes the alert in multi-tenant replays (the empty string —
+    the historical default — means the single-tenant path).  The field is
+    emitted only when non-empty, so recordings captured before tenancy
+    existed, and single-tenant recordings captured after, are byte-identical
+    to what this codec always produced.
+    """
 
     offset: float
     alert: Alert
+    tenant: str = ""
 
     def to_record(self) -> Dict[str, object]:
-        return {"kind": "alert", "offset": self.offset, "alert": self.alert.to_dict()}
+        record: Dict[str, object] = {
+            "kind": "alert",
+            "offset": self.offset,
+            "alert": self.alert.to_dict(),
+        }
+        if self.tenant:
+            record["tenant"] = self.tenant
+        return record
 
 
 @dataclass(frozen=True)
@@ -137,6 +157,7 @@ def event_from_record(record: Dict[str, object]) -> BusEvent:
         return AlertEvent(
             offset=float(record["offset"]),
             alert=Alert.from_dict(record["alert"]),
+            tenant=str(record.get("tenant", "")),
         )
     if kind == "feedback":
         return FeedbackEvent(

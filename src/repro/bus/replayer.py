@@ -144,7 +144,16 @@ class BusReplayer:
                 flush_due("latency", window_start + max_latency)
             self._pace(clock, t0 + event.offset / self.speed)
             if isinstance(event, AlertEvent):
-                futures.append(ingestor.submit(event.alert))
+                # Multi-tenant captures carry a tenant per alert; a
+                # tenant-routing ingestor takes it as a keyword, the
+                # single-tenant ingestor never sees one (pre-tenancy
+                # recordings have the empty default).
+                if event.tenant:
+                    futures.append(
+                        ingestor.submit(event.alert, tenant=event.tenant)
+                    )
+                else:
+                    futures.append(ingestor.submit(event.alert))
                 if pending == 0:
                     window_start = event.offset
                 pending += 1

@@ -5,12 +5,24 @@ series data" (paper Section 2.2).  The store keeps one series per
 (metric name, machine) pair and supports the window aggregations that
 monitors and handler query actions need: latest value, mean, max, rate of
 change, and simple threshold/z-score anomaly detection.
+
+Thread safety: the streaming deployment writes into one shared store from
+several threads at once — the ingest worker's per-batch export, the
+prediction lane's cache/index exports, and collect-pool worker threads
+whose handlers emit telemetry — while other handlers concurrently *read*
+the same series.  The store therefore guards its series dictionary with a
+lock, and every series guards its sample arrays with its own lock: a
+``record`` can neither lose a concurrently created series (the classic
+get-then-set race) nor interleave a mid-``insert`` list with a reader's
+window scan.  Aggregations see each series at a point in time; they do not
+freeze the whole store.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -30,35 +42,64 @@ class MetricSeries:
         self.name = name
         self.machine = machine
         self.unit = unit
+        #: Guards the parallel sample arrays: concurrent writers (ingest
+        #: worker, prediction lane, collect workers) mutate them with
+        #: appends *and* mid-list inserts, so unguarded readers could scan
+        #: a half-shifted list.
+        self._lock = threading.Lock()
         self._timestamps: List[float] = []
         self._values: List[float] = []
 
     def __len__(self) -> int:
-        return len(self._timestamps)
+        with self._lock:
+            return len(self._timestamps)
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Copy/pickle support: snapshot the samples, drop the lock.
+
+        Locks are neither picklable nor deep-copyable; the process
+        collection backend ships the telemetry hub to workers and tests
+        deep-copy whole pipelines, so the series serializes a consistent
+        snapshot and rebuilds a fresh lock on the other side.
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "machine": self.machine,
+                "unit": self.unit,
+                "_timestamps": list(self._timestamps),
+                "_values": list(self._values),
+            }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def add(self, timestamp: float, value: float) -> None:
         """Append a sample; out-of-order samples are inserted in place."""
-        if not self._timestamps or timestamp >= self._timestamps[-1]:
-            self._timestamps.append(timestamp)
-            self._values.append(value)
-            return
-        index = bisect.bisect_left(self._timestamps, timestamp)
-        self._timestamps.insert(index, timestamp)
-        self._values.insert(index, value)
+        with self._lock:
+            if not self._timestamps or timestamp >= self._timestamps[-1]:
+                self._timestamps.append(timestamp)
+                self._values.append(value)
+                return
+            index = bisect.bisect_left(self._timestamps, timestamp)
+            self._timestamps.insert(index, timestamp)
+            self._values.insert(index, value)
 
     def points(
         self, start: Optional[float] = None, end: Optional[float] = None
     ) -> List[MetricPoint]:
         """Return samples inside the inclusive window [start, end]."""
-        lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
-        hi = (
-            len(self._timestamps)
-            if end is None
-            else bisect.bisect_right(self._timestamps, end)
-        )
-        return [
-            MetricPoint(self._timestamps[i], self._values[i]) for i in range(lo, hi)
-        ]
+        with self._lock:
+            lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
+            hi = (
+                len(self._timestamps)
+                if end is None
+                else bisect.bisect_right(self._timestamps, end)
+            )
+            return [
+                MetricPoint(self._timestamps[i], self._values[i]) for i in range(lo, hi)
+            ]
 
     def values(
         self, start: Optional[float] = None, end: Optional[float] = None
@@ -68,9 +109,10 @@ class MetricSeries:
 
     def latest(self) -> Optional[MetricPoint]:
         """Return the most recent sample, or None for an empty series."""
-        if not self._timestamps:
-            return None
-        return MetricPoint(self._timestamps[-1], self._values[-1])
+        with self._lock:
+            if not self._timestamps:
+                return None
+            return MetricPoint(self._timestamps[-1], self._values[-1])
 
     def mean(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
         """Mean value over the window (0.0 for an empty window).
@@ -141,41 +183,62 @@ class MetricStore:
     """A collection of metric series keyed by (metric name, machine)."""
 
     def __init__(self) -> None:
+        #: Guards the series dictionary: two threads recording the first
+        #: sample of the same (name, machine) pair must not each create a
+        #: series and have one swallow the other's sample.
+        self._lock = threading.Lock()
         self._series: Dict[Tuple[str, str], MetricSeries] = {}
 
     def __len__(self) -> int:
-        return len(self._series)
+        with self._lock:
+            return len(self._series)
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Copy/pickle support: snapshot the series map, drop the lock."""
+        with self._lock:
+            return {"_series": dict(self._series)}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def record(
         self, name: str, machine: str, timestamp: float, value: float, unit: str = ""
     ) -> None:
         """Record a sample, creating the series if needed."""
         key = (name, machine)
-        series = self._series.get(key)
-        if series is None:
-            series = MetricSeries(name, machine, unit=unit)
-            self._series[key] = series
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = MetricSeries(name, machine, unit=unit)
+                self._series[key] = series
         series.add(timestamp, value)
+
+    def _items(self) -> List[Tuple[Tuple[str, str], MetricSeries]]:
+        """A point-in-time snapshot of the series map (sorted by key)."""
+        with self._lock:
+            return sorted(self._series.items())
 
     def series(self, name: str, machine: str) -> Optional[MetricSeries]:
         """Return the series for (name, machine), or None if absent."""
-        return self._series.get((name, machine))
+        with self._lock:
+            return self._series.get((name, machine))
 
     def series_for_metric(self, name: str) -> List[MetricSeries]:
         """Return every machine's series for a metric name."""
-        return [s for (n, _), s in sorted(self._series.items()) if n == name]
+        return [s for (n, _), s in self._items() if n == name]
 
     def series_for_machine(self, machine: str) -> List[MetricSeries]:
         """Return every metric series emitted by a machine."""
-        return [s for (_, m), s in sorted(self._series.items()) if m == machine]
+        return [s for (_, m), s in self._items() if m == machine]
 
     def metric_names(self) -> List[str]:
         """Distinct metric names present in the store."""
-        return sorted({name for name, _ in self._series})
+        return sorted({name for (name, _), _ in self._items()})
 
     def machines(self) -> List[str]:
         """Distinct machines present in the store."""
-        return sorted({machine for _, machine in self._series})
+        return sorted({machine for (_, machine), _ in self._items()})
 
     def latest(self, name: str, machine: str) -> Optional[float]:
         """Latest value of a metric on a machine, or None."""
@@ -251,7 +314,7 @@ def merge_stores(stores: Iterable[MetricStore]) -> MetricStore:
     """Merge several metric stores into a new one (samples are copied)."""
     merged = MetricStore()
     for store in stores:
-        for (name, machine), series in store._series.items():  # noqa: SLF001 - intra-module
+        for (name, machine), series in store._items():  # noqa: SLF001 - intra-module
             for point in series.points():
                 merged.record(name, machine, point.timestamp, point.value, unit=series.unit)
     return merged

@@ -1,0 +1,30 @@
+"""Multi-tenant service decomposition and fair-share routing.
+
+The pipeline decomposes into three in-process services behind explicit
+protocol seams (:mod:`~repro.tenancy.services`): the ingestion front, the
+collection substrate, and the retrieval layer.  :class:`TenantRouter`
+composes them into a multi-tenant deployment — per-tenant index
+namespaces, quotas with tenant-scoped load shed, and deficit-round-robin
+fair-share micro-batching with cross-tenant LLM deduplication.  See
+:mod:`repro.tenancy.router` for the full design notes.
+"""
+
+from .router import (
+    DEFAULT_TENANT,
+    TenantQueue,
+    TenantQueueFull,
+    TenantQuota,
+    TenantRouter,
+)
+from .services import CollectService, IngestService, RetrievalService
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "TenantQueue",
+    "TenantQueueFull",
+    "TenantQuota",
+    "TenantRouter",
+    "CollectService",
+    "IngestService",
+    "RetrievalService",
+]

@@ -19,6 +19,7 @@ from .index import (
     load_index,
 )
 from .knn import NearestNeighborSearch, Neighbor, select_complete_order
+from .namespaces import NamespacedIndexMap
 from .sharded import (
     DEFAULT_WINDOW_DAYS,
     SCORING_BACKENDS,
@@ -52,6 +53,7 @@ __all__ = [
     "NearestNeighborSearch",
     "Neighbor",
     "select_complete_order",
+    "NamespacedIndexMap",
     "DEFAULT_WINDOW_DAYS",
     "SCORING_BACKENDS",
     "CompactionPolicy",

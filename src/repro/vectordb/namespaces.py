@@ -1,0 +1,101 @@
+"""Namespaced retrieval: one lazily created index per namespace.
+
+Multi-tenant deployments partition the retrieval layer by tenant — each
+tenant's incidents embed into, and retrieve from, that tenant's own index
+— while operators still want one place to ask "how big is retrieval
+overall".  :class:`NamespacedIndexMap` is that partition: a mapping from
+namespace to :class:`~repro.vectordb.index.VectorIndex` where indexes are
+created on first touch by an injected factory (so an idle tenant costs
+nothing), existing live indexes can be attached under a namespace (the
+tenant router attaches each tenant stage's index as it is built), and
+per-namespace plus aggregate statistics roll up through one
+:meth:`stats_dict`.
+
+The map guards its own namespace dictionary with a lock — namespaces are
+created from whatever thread first routes to them — but it does not add
+locking around the indexes themselves; each index keeps its own
+concurrency contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from .index import VectorIndex
+
+
+class NamespacedIndexMap:
+    """Lazily created, individually addressable vector indexes by namespace."""
+
+    def __init__(self, factory: Optional[Callable[[str], VectorIndex]] = None) -> None:
+        """Create an empty map.
+
+        Args:
+            factory: Builds the index for a namespace on first
+                :meth:`get_or_create` touch.  ``None`` disables lazy
+                creation — every namespace must then be :meth:`attach`\\ ed
+                explicitly (the tenant router's mode: the per-tenant
+                prediction stage builds the index and attaches it here).
+        """
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._indexes: Dict[str, VectorIndex] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._indexes)
+
+    def __contains__(self, namespace: str) -> bool:
+        with self._lock:
+            return namespace in self._indexes
+
+    def get(self, namespace: str) -> Optional[VectorIndex]:
+        """The namespace's index, or None if it was never created."""
+        with self._lock:
+            return self._indexes.get(namespace)
+
+    def get_or_create(self, namespace: str) -> VectorIndex:
+        """The namespace's index, created by the factory on first touch."""
+        with self._lock:
+            index = self._indexes.get(namespace)
+            if index is None:
+                if self._factory is None:
+                    raise KeyError(
+                        f"namespace {namespace!r} has no index and the map has "
+                        "no factory to create one"
+                    )
+                index = self._factory(namespace)
+                self._indexes[namespace] = index
+            return index
+
+    def attach(self, namespace: str, index: VectorIndex) -> None:
+        """Register a live index under a namespace (replacing any previous).
+
+        The tenant router's path: the tenant's prediction stage owns index
+        construction (embedder fit, bulk insert); the map only aggregates.
+        """
+        with self._lock:
+            self._indexes[namespace] = index
+
+    def namespaces(self) -> List[str]:
+        """The namespaces with an index, sorted."""
+        with self._lock:
+            return sorted(self._indexes)
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Aggregate view across namespaces, plus per-namespace sizes.
+
+        ``namespaces`` and ``entries_total`` summarize the whole retrieval
+        layer; each namespace additionally contributes a
+        ``namespace.<name>.entries`` gauge.
+        """
+        with self._lock:
+            items = sorted(self._indexes.items())
+        flat: Dict[str, float] = {
+            "namespaces": float(len(items)),
+            "entries_total": float(sum(len(index) for _, index in items)),
+        }
+        for name, index in items:
+            flat[f"namespace.{name}.entries"] = float(len(index))
+        return flat

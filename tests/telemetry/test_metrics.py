@@ -137,3 +137,110 @@ class TestMetricStore:
         series.add(1.0, 50.0)
         text = summarize_series(series)
         assert "cpu@m1" in text and "%" in text
+
+
+class TestConcurrentWriters:
+    """Regression: the hub's metric paths are written from several threads.
+
+    Before the store/series locks, concurrent ``record`` calls lost
+    samples two ways: two threads creating the same series raced the
+    get-then-set on the series dict (one thread's sample landed in a
+    series that was immediately overwritten), and two threads appending
+    to one series raced the list mutations.  The hammer drives both
+    shapes — many threads on one series, and many threads fanning over a
+    shared set of series — with concurrent readers scanning windows, and
+    asserts not a single sample was lost or torn.
+    """
+
+    def test_multi_writer_hammer_loses_no_samples(self):
+        import threading
+
+        store = MetricStore()
+        writers = 8
+        samples = 300
+        start_gate = threading.Event()
+        errors = []
+
+        def write(worker: int) -> None:
+            try:
+                start_gate.wait(timeout=10.0)
+                for step in range(samples):
+                    # Same-series contention: everyone hits ("hot", "m0").
+                    store.record("hot", "m0", float(step), float(worker))
+                    # First-sample contention: each (metric, machine) pair
+                    # is created under the race, not ahead of it.
+                    store.record(f"cold-{step % 7}", f"m{worker % 3}",
+                                 float(step), 1.0)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def read() -> None:
+            try:
+                start_gate.wait(timeout=10.0)
+                for _ in range(samples):
+                    series = store.series("hot", "m0")
+                    if series is not None:
+                        # A torn insert would surface here as an index error
+                        # or a points() scan over a half-shifted list.
+                        series.points(start=10.0, end=200.0)
+                        series.latest()
+                    store.aggregate("cold-3", how="max")
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(worker,)) for worker in range(writers)
+        ] + [threading.Thread(target=read) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        start_gate.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        hot = store.series("hot", "m0")
+        assert hot is not None and len(hot) == writers * samples
+        cold_total = sum(
+            len(store.series(f"cold-{bucket}", f"m{machine}") or [])
+            for bucket in range(7)
+            for machine in range(3)
+        )
+        assert cold_total == writers * samples
+
+    def test_out_of_order_inserts_race_ordered_reads(self):
+        import threading
+
+        series = MetricSeries("jitter", "m0")
+        start_gate = threading.Event()
+        errors = []
+
+        def write(worker: int) -> None:
+            try:
+                start_gate.wait(timeout=10.0)
+                # Descending timestamps force the bisect-insert path on
+                # every add — the racy list surgery the lock now guards.
+                for step in range(200, 0, -1):
+                    series.add(float(step * 3 + worker), float(worker))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def read() -> None:
+            try:
+                start_gate.wait(timeout=10.0)
+                for _ in range(400):
+                    points = series.points()
+                    timestamps = [p.timestamp for p in points]
+                    assert timestamps == sorted(timestamps)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(w,)) for w in range(3)]
+        threads.append(threading.Thread(target=read))
+        for thread in threads:
+            thread.start()
+        start_gate.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert len(series) == 3 * 200
+        final = [p.timestamp for p in series.points()]
+        assert final == sorted(final)

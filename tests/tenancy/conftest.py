@@ -1,0 +1,10 @@
+"""Path setup: the tenancy suite reuses the streaming test utilities."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# pytest puts each test file's own directory on sys.path; the shared
+# streaming builders live next to the core suite, one directory over.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "core"))

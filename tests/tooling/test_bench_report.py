@@ -65,11 +65,11 @@ def test_report_renders_trend_across_runs(tmp_path):
     # Best history-size speedup picks the max across sizes.
     assert "| throughput | batch vs sequential speedup (best history size) | 6.50 | 6.50 |" in report
     assert "| throughput | autoscaled wall vs best static (bursty) | 0.95 | 0.95 |" in report
-    # run-b has no retrieval artifact: its retrieval cells are blank.
-    assert "| retrieval | sharded vs flat speedup (live) | 3.70 |  |" in report
-    assert "| retrieval | process vs sequential sharded (replay) | 2.10 |  |" in report
-    assert "| retrieval | process worker RSS / index bytes | 0.03 |  |" in report
-    assert "| retrieval | int8 prefilter speedup (live) | 1.20 |  |" in report
+    # run-b has no retrieval artifact: its retrieval cells show "—".
+    assert "| retrieval | sharded vs flat speedup (live) | 3.70 | — |" in report
+    assert "| retrieval | process vs sequential sharded (replay) | 2.10 | — |" in report
+    assert "| retrieval | process worker RSS / index bytes | 0.03 | — |" in report
+    assert "| retrieval | int8 prefilter speedup (live) | 1.20 | — |" in report
     assert "run-a: quick" in report and "run-b: full" in report
 
 
@@ -79,8 +79,26 @@ def test_report_survives_garbage_payloads(tmp_path):
     (run / "BENCH_throughput.json").write_text("{not json")
     (run / "BENCH_retrieval.json").write_text(json.dumps({"speedups": "nope"}))
     report = bench_report.render_report([bench_report.load_run(str(run))])
-    # Every metric degrades to a blank cell; the report itself renders.
-    assert "| throughput | collect-bound pool speedup (4 workers) |  |" in report
+    # Every metric degrades to a "—" cell; the report itself renders.
+    assert "| throughput | collect-bound pool speedup (4 workers) | — |" in report
+
+
+def test_pre_tenancy_archives_render_missing_tenant_cells(tmp_path):
+    """Regression: archives recorded before the ``tenants`` block existed
+    must render "—" for the tenancy rows, not crash or mis-render."""
+    write_run(tmp_path / "old", throughput=THROUGHPUT)  # no "tenants" block
+    tenanted = dict(
+        THROUGHPUT,
+        tenants={"steady_p95_ratio": 1.08, "bursty_shed": 12},
+    )
+    write_run(tmp_path / "new", throughput=tenanted)
+    runs = [bench_report.load_run(str(tmp_path / name)) for name in ("old", "new")]
+    report = bench_report.render_report(runs)
+    assert (
+        "| throughput | tenants steady p95 wall vs solo (fair share) | — | 1.08 |"
+        in report
+    )
+    assert "| throughput | tenants bursty alerts shed by quota | — | 12 |" in report
 
 
 def test_cli_writes_output_file(tmp_path, capsys):

@@ -85,6 +85,20 @@ def test_no_wallclock_calls_outside_clock_module():
     assert not offences, "\n".join(offences)
 
 
+def test_lint_walk_covers_the_tenancy_package():
+    """Regression: new packages are linted by virtue of the os.walk — pin
+    that the tenancy service layer (added after the lint) is in its scope."""
+    root = repro_root()
+    walked = {
+        os.path.relpath(os.path.join(dirpath, filename), root)
+        for dirpath, _dirnames, filenames in os.walk(root)
+        for filename in filenames
+        if filename.endswith(".py")
+    }
+    for expected in ("router.py", "services.py", "__init__.py"):
+        assert os.path.join("tenancy", expected) in walked
+
+
 def test_the_detector_itself_catches_every_alias_form():
     """Self-test: the AST walk sees every way of spelling the banned calls."""
     import tempfile
